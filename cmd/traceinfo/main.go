@@ -1,0 +1,59 @@
+// Command traceinfo analyses a communication trace: the Table 3
+// properties (footprint, lookups), reuse factors, spatial-locality run
+// lengths, and a reuse-distance histogram that predicts translation
+// cache behaviour at each size.
+//
+// Usage:
+//
+//	tracegen -app radix -o radix.trc && traceinfo radix.trc
+//	tracegen -app fft -format text -o fft.txt && traceinfo -format text fft.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"utlb/internal/trace"
+)
+
+func main() {
+	var (
+		format = flag.String("format", "binary", "input format: binary or text")
+		reuse  = flag.Bool("reuse", true, "print the reuse-distance histogram")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceinfo [-format binary|text] <trace-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	var tr trace.Trace
+	switch *format {
+	case "binary":
+		tr, err = trace.ReadBinary(f)
+	case "text":
+		tr, err = trace.ReadText(f)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Print(trace.Summarize(tr).String())
+	if *reuse {
+		fmt.Println("\nreuse-distance histogram (distinct (pid,page) pairs between uses):")
+		fmt.Print(trace.FormatReuseHistogram(trace.ReuseDistances(tr)))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceinfo:", err)
+	os.Exit(1)
+}

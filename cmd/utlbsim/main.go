@@ -1,0 +1,79 @@
+// Command utlbsim regenerates the paper's evaluation: every table and
+// figure of "UTLB: A Mechanism for Address Translation on Network
+// Interfaces" (ASPLOS 1998), driven by synthetic SPLASH-2-like traces.
+//
+// Usage:
+//
+//	utlbsim -exp table4           # one experiment at paper scale
+//	utlbsim -exp all -scale 0.1   # everything, at a tenth the size
+//	utlbsim -list                 # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"utlb/internal/experiments"
+	"utlb/internal/trace"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run (see -list)")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper size)")
+		seed     = flag.Int64("seed", 1998, "random seed for trace generation and policies")
+		apps     = flag.String("apps", "", "comma-separated application subset (default: all seven)")
+		nodes    = flag.Int("nodes", 1, "cluster nodes to simulate and average over (the paper uses 4)")
+		list     = flag.Bool("list", false, "list experiment names and exit")
+		traceIn  = flag.String("trace", "", "run the UTLB-vs-Intr comparison on a binary trace file instead of an experiment")
+		pinLimit = flag.Int("pinlimit", 0, "per-process pinned-page quota for -trace (0 = unlimited)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.ReadBinary(f)
+		if err != nil {
+			fatal(err)
+		}
+		tbl, err := experiments.CompareTrace(tr, *seed, *pinLimit)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(tbl.String())
+		return
+	}
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Nodes: *nodes}
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	}
+
+	var err error
+	if *exp == "all" {
+		err = experiments.RunAll(opts, os.Stdout)
+	} else {
+		err = experiments.Run(*exp, opts, os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "utlbsim:", err)
+	os.Exit(1)
+}

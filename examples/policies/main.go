@@ -1,0 +1,86 @@
+// Policies: application-specific replacement under memory pressure.
+//
+// The UTLB lets each application choose which pages to unpin when the
+// OS refuses to pin more memory (paper §3.4 predefines LRU, MRU, LFU,
+// MFU and RANDOM). This example replays two access patterns — a
+// sequential sweep larger than the pin quota (where LRU is the worst
+// possible choice and MRU the best) and a hot/cold mix (where LRU
+// wins) — through every policy, using the trace-driven simulator, and
+// prints the pinning churn each policy causes.
+//
+// Run with: go run ./examples/policies
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"utlb"
+)
+
+const (
+	quota   = 64 // pinned-page quota per process
+	pageCnt = 96 // sweep working set: 1.5x the quota
+)
+
+// sweepTrace repeatedly walks pages 0..pageCnt-1 in order.
+func sweepTrace() utlb.Trace {
+	var tr utlb.Trace
+	t := utlb.Time(0)
+	for round := 0; round < 6; round++ {
+		for p := 0; p < pageCnt; p++ {
+			t += utlb.FromMicros(5)
+			tr = append(tr, utlb.TraceRecord{
+				Time: t, PID: 1, VA: utlb.VAddr(p) * utlb.PageSize, Bytes: utlb.PageSize,
+			})
+		}
+	}
+	return tr
+}
+
+// hotColdTrace touches a hot set that fits the quota 9 times out of
+// 10, and a large cold set otherwise.
+func hotColdTrace() utlb.Trace {
+	var tr utlb.Trace
+	t := utlb.Time(0)
+	for i := 0; i < 6*pageCnt; i++ {
+		t += utlb.FromMicros(5)
+		var page int
+		if i%10 != 0 {
+			page = i % (quota / 2) // hot
+		} else {
+			page = 1000 + i%512 // cold
+		}
+		tr = append(tr, utlb.TraceRecord{
+			Time: t, PID: 1, VA: utlb.VAddr(page) * utlb.PageSize, Bytes: utlb.PageSize,
+		})
+	}
+	return tr
+}
+
+func churn(tr utlb.Trace, policy utlb.PolicyKind) float64 {
+	cfg := utlb.DefaultSimConfig()
+	cfg.CacheEntries = 1024
+	cfg.Policy = policy
+	cfg.PinLimitPages = quota
+	cfg.Seed = 7
+	res, err := utlb.Simulate(tr, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.UnpinRate()
+}
+
+func main() {
+	policies := []utlb.PolicyKind{utlb.LRU, utlb.MRU, utlb.LFU, utlb.MFU, utlb.Random}
+	sweep, hot := sweepTrace(), hotColdTrace()
+
+	fmt.Printf("pin quota %d pages; unpins per lookup (lower is better)\n\n", quota)
+	fmt.Printf("%-8s  %-18s  %-18s\n", "policy", "sequential sweep", "hot/cold mix")
+	for _, p := range policies {
+		fmt.Printf("%-8s  %-18.3f  %-18.3f\n", p, churn(sweep, p), churn(hot, p))
+	}
+	fmt.Println("\nsequential sweep: LRU evicts exactly what is needed next; MRU keeps the prefix resident")
+	fmt.Println("hot/cold mix:     recency wins; MRU throws away the hot set")
+	fmt.Println("this is why the UTLB exposes the policy to the application (paper S3.4)")
+}

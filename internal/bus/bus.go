@@ -1,0 +1,132 @@
+// Package bus models the host I/O bus (PCI on the paper's machines):
+// the path the network interface uses to DMA translation-table entries
+// and message data between host DRAM and NIC SRAM.
+//
+// The model is a cost function, not a bandwidth arbiter: DMA setup
+// dominates small transfers (which is why the paper's prefetch cost
+// "remains relatively constant with respect to the number of entries
+// fetched"), and a per-byte cost models bandwidth for bulk data.
+package bus
+
+import (
+	"fmt"
+
+	"utlb/internal/phys"
+	"utlb/internal/units"
+)
+
+// Costs parameterises the bus.
+type Costs struct {
+	// DMASetup is the fixed cost to program one DMA transaction.
+	DMASetup units.Time
+	// DMAPerWord is the incremental cost per 8-byte word for small
+	// descriptor-sized transfers (translation entries).
+	DMAPerWord units.Time
+	// DMAPerByte is the incremental cost per byte for bulk data,
+	// i.e. the inverse of bus bandwidth.
+	DMAPerByte units.Time
+}
+
+// DefaultCosts calibrates the bus against Table 2: fetching 1 entry
+// costs ≈1.5 µs and 32 entries ≈2.5 µs, so setup ≈1.47 µs and each
+// 8-byte word ≈32 ns. Bulk bandwidth is ≈127 MB/s (PCI era), ≈7.9 ns/B.
+func DefaultCosts() Costs {
+	return Costs{
+		DMASetup:   units.FromMicros(1.468),
+		DMAPerWord: units.FromMicros(0.032),
+		DMAPerByte: units.FromMicros(0.0079),
+	}
+}
+
+// EntryFetchCost reports the DMA cost of reading n translation entries
+// (one 8-byte word each) from host memory — the paper's "DMA cost" row
+// in Table 2.
+func (c Costs) EntryFetchCost(n int) units.Time {
+	if n <= 0 {
+		return 0
+	}
+	return c.DMASetup + units.Time(n)*c.DMAPerWord
+}
+
+// DataCost reports the DMA cost of moving n bytes of message data.
+func (c Costs) DataCost(n int) units.Time {
+	if n <= 0 {
+		return 0
+	}
+	return c.DMASetup + units.Time(n)*c.DMAPerByte
+}
+
+// Bus is one node's I/O bus, connecting a NIC to host physical memory.
+// All DMA time is charged to the clock passed at construction (the NIC
+// processor blocks on its own DMA in the paper's firmware).
+type Bus struct {
+	costs Costs
+	mem   *phys.Memory
+	clock *units.Clock
+
+	// Transfer statistics for experiments and tests.
+	reads      int64
+	writes     int64
+	bytesRead  int64
+	bytesWrite int64
+}
+
+// New returns a bus over mem charging time to clock.
+func New(mem *phys.Memory, clock *units.Clock, costs Costs) *Bus {
+	return &Bus{costs: costs, mem: mem, clock: clock}
+}
+
+// Costs returns the bus cost model.
+func (b *Bus) Costs() Costs { return b.costs }
+
+// ReadWords DMAs n consecutive 8-byte words starting at pa from host
+// memory, charging the entry-fetch cost. This is the Shared UTLB-Cache
+// miss path: the NIC reads translation entries out of the host-resident
+// table.
+func (b *Bus) ReadWords(pa units.PAddr, n int) []uint64 {
+	if n < 0 {
+		panic(fmt.Sprintf("bus: negative word count %d", n))
+	}
+	b.clock.Advance(b.costs.EntryFetchCost(n))
+	b.reads++
+	b.bytesRead += int64(n) * 8
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = b.mem.ReadWord(pa + units.PAddr(i*8))
+	}
+	return out
+}
+
+// WriteWords DMAs words into host memory starting at pa.
+func (b *Bus) WriteWords(pa units.PAddr, words []uint64) {
+	b.clock.Advance(b.costs.EntryFetchCost(len(words)))
+	b.writes++
+	b.bytesWrite += int64(len(words)) * 8
+	for i, w := range words {
+		b.mem.WriteWord(pa+units.PAddr(i*8), w)
+	}
+}
+
+// ReadData DMAs n bytes of bulk data from host memory at pa, charging
+// the bandwidth-dominated data cost. Used for outgoing message payloads.
+func (b *Bus) ReadData(pa units.PAddr, n int) []byte {
+	b.clock.Advance(b.costs.DataCost(n))
+	b.reads++
+	b.bytesRead += int64(n)
+	return b.mem.Read(pa, n)
+}
+
+// WriteData DMAs bulk data into host memory at pa. Used for incoming
+// message payloads landing in a receive buffer.
+func (b *Bus) WriteData(pa units.PAddr, data []byte) {
+	b.clock.Advance(b.costs.DataCost(len(data)))
+	b.writes++
+	b.bytesWrite += int64(len(data))
+	b.mem.Write(pa, data)
+}
+
+// Stats reports cumulative transfer counts and byte totals
+// (reads, writes, bytesRead, bytesWritten).
+func (b *Bus) Stats() (reads, writes, bytesRead, bytesWritten int64) {
+	return b.reads, b.writes, b.bytesRead, b.bytesWrite
+}

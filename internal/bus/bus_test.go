@@ -1,0 +1,115 @@
+package bus
+
+import (
+	"math"
+	"testing"
+
+	"utlb/internal/phys"
+	"utlb/internal/units"
+)
+
+func newBus(t *testing.T, frames int) (*Bus, *phys.Memory, *units.Clock) {
+	t.Helper()
+	mem := phys.NewMemory(int64(frames) * units.PageSize)
+	for i := 0; i < frames; i++ {
+		if _, err := mem.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk := units.NewClock()
+	return New(mem, clk, DefaultCosts()), mem, clk
+}
+
+// Table 2 calibration: DMA cost for 1..32 entries must land near the
+// paper's 1.5–2.5 µs curve (within 15%).
+func TestEntryFetchCostCalibration(t *testing.T) {
+	c := DefaultCosts()
+	paper := map[int]float64{1: 1.5, 2: 1.6, 4: 1.6, 8: 1.9, 16: 2.1, 32: 2.5}
+	for n, want := range paper {
+		got := c.EntryFetchCost(n).Micros()
+		if math.Abs(got-want)/want > 0.15 {
+			t.Errorf("EntryFetchCost(%d) = %.2fus, paper %.1fus", n, got, want)
+		}
+	}
+}
+
+func TestSetupDominatesSmallFetches(t *testing.T) {
+	// The paper: "DMA setup dominates the total fetch time for a small
+	// number of words" — fetching 8 entries must cost well under 2x
+	// fetching 1.
+	c := DefaultCosts()
+	if c.EntryFetchCost(8) >= 2*c.EntryFetchCost(1) {
+		t.Errorf("setup does not dominate: 1->%v 8->%v",
+			c.EntryFetchCost(1), c.EntryFetchCost(8))
+	}
+}
+
+func TestZeroCosts(t *testing.T) {
+	c := DefaultCosts()
+	if c.EntryFetchCost(0) != 0 || c.DataCost(0) != 0 || c.DataCost(-1) != 0 {
+		t.Error("zero-size transfers should cost nothing")
+	}
+}
+
+func TestReadWriteWords(t *testing.T) {
+	b, _, clk := newBus(t, 4)
+	words := []uint64{1, 0xffffffffffffffff, 42}
+	before := clk.Now()
+	b.WriteWords(0x100, words)
+	got := b.ReadWords(0x100, 3)
+	for i := range words {
+		if got[i] != words[i] {
+			t.Errorf("word %d = %#x, want %#x", i, got[i], words[i])
+		}
+	}
+	charged := clk.Now() - before
+	want := 2 * b.Costs().EntryFetchCost(3)
+	if charged != want {
+		t.Errorf("charged %v, want %v", charged, want)
+	}
+}
+
+func TestReadWriteData(t *testing.T) {
+	b, _, clk := newBus(t, 4)
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	before := clk.Now()
+	b.WriteData(units.PageSize, data)
+	got := b.ReadData(units.PageSize, len(data))
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+	if clk.Now()-before != 2*b.Costs().DataCost(4096) {
+		t.Error("data cost not charged")
+	}
+	// A 4 KB page at ~127 MB/s should take tens of microseconds.
+	us := b.Costs().DataCost(4096).Micros()
+	if us < 20 || us > 60 {
+		t.Errorf("page DMA = %.1fus, expected 20-60us", us)
+	}
+}
+
+func TestStats(t *testing.T) {
+	b, _, _ := newBus(t, 4)
+	b.WriteWords(0, []uint64{1, 2})
+	b.ReadWords(0, 2)
+	b.WriteData(units.PageSize, []byte{1, 2, 3})
+	reads, writes, br, bw := b.Stats()
+	if reads != 1 || writes != 2 || br != 16 || bw != 19 {
+		t.Errorf("Stats = %d %d %d %d", reads, writes, br, bw)
+	}
+}
+
+func TestNegativeWordCountPanics(t *testing.T) {
+	b, _, _ := newBus(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	b.ReadWords(0, -1)
+}

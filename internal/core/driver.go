@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"utlb/internal/hostos"
+	"utlb/internal/nicsim"
+	"utlb/internal/tlbcache"
+	"utlb/internal/units"
+)
+
+// Driver is the VMMC/UTLB device driver (§4.2): the only kernel
+// component the mechanism needs. It owns the garbage page, allocates a
+// hierarchical translation table per registered process, and exposes
+// the pin/unpin ioctl that installs translations. No other OS
+// modification exists, matching the paper's portability claim.
+type Driver struct {
+	host    *hostos.Host
+	nic     *nicsim.NIC
+	cache   *tlbcache.Cache
+	garbage units.PFN
+	tables  map[units.ProcID]*Table
+
+	pinCalls   int64
+	unpinCalls int64
+}
+
+// NewDriver initialises the driver on host/nic: it allocates and pins
+// the garbage frame, builds the Shared UTLB-Cache with cacheCfg, and
+// reserves the cache's NIC SRAM.
+func NewDriver(host *hostos.Host, nic *nicsim.NIC, cacheCfg tlbcache.Config) (*Driver, error) {
+	if err := cacheCfg.Validate(); err != nil {
+		return nil, err
+	}
+	garbage, err := host.Memory().Alloc()
+	if err != nil {
+		return nil, fmt.Errorf("core: allocating garbage page: %w", err)
+	}
+	cache := tlbcache.New(cacheCfg)
+	if err := nic.ReserveSRAM(cache.SRAMBytes()); err != nil {
+		return nil, fmt.Errorf("core: reserving cache SRAM: %w", err)
+	}
+	return &Driver{
+		host:    host,
+		nic:     nic,
+		cache:   cache,
+		garbage: garbage,
+		tables:  make(map[units.ProcID]*Table),
+	}, nil
+}
+
+// Host returns the driver's host.
+func (d *Driver) Host() *hostos.Host { return d.host }
+
+// NIC returns the driver's network interface.
+func (d *Driver) NIC() *nicsim.NIC { return d.nic }
+
+// Cache returns the Shared UTLB-Cache.
+func (d *Driver) Cache() *tlbcache.Cache { return d.cache }
+
+// Garbage returns the garbage frame invalid translations point at.
+func (d *Driver) Garbage() units.PFN { return d.garbage }
+
+// PinCalls and UnpinCalls report how many ioctls have been issued.
+func (d *Driver) PinCalls() int64   { return d.pinCalls }
+func (d *Driver) UnpinCalls() int64 { return d.unpinCalls }
+
+// Register allocates a translation table for proc and reserves its
+// directory's NIC SRAM. Registering twice is a caller bug.
+func (d *Driver) Register(proc *hostos.Process) (*Table, error) {
+	pid := proc.PID()
+	if _, ok := d.tables[pid]; ok {
+		return nil, fmt.Errorf("core: pid %d already registered", pid)
+	}
+	if err := d.nic.ReserveSRAM(DirSRAMBytes); err != nil {
+		return nil, fmt.Errorf("core: reserving directory SRAM for pid %d: %w", pid, err)
+	}
+	t := NewTable(pid, d.host.Memory(), d.garbage)
+	d.tables[pid] = t
+	return t, nil
+}
+
+// Unregister tears down a process: its table frames return to the OS,
+// its cache entries are invalidated, and its directory SRAM released.
+func (d *Driver) Unregister(pid units.ProcID) {
+	t, ok := d.tables[pid]
+	if !ok {
+		return
+	}
+	t.Release()
+	delete(d.tables, pid)
+	d.cache.InvalidateProcess(pid)
+	d.nic.ReleaseSRAM(DirSRAMBytes)
+}
+
+// TableOf returns the translation table of pid, or nil.
+func (d *Driver) TableOf(pid units.ProcID) *Table { return d.tables[pid] }
+
+// IoctlPin is the pin-and-install ioctl of Figure 2, step 2: lock the
+// pages in physical memory and fill their translation entries. The
+// syscall and per-page pin time is charged by the host; table writes
+// ride inside that cost. On failure nothing stays pinned.
+func (d *Driver) IoctlPin(proc *hostos.Process, vpns []units.VPN) ([]units.PFN, error) {
+	t, ok := d.tables[proc.PID()]
+	if !ok {
+		return nil, fmt.Errorf("core: pid %d not registered", proc.PID())
+	}
+	d.pinCalls++
+	pfns, err := d.host.PinPages(proc, vpns)
+	if err != nil {
+		return nil, err
+	}
+	for i, vpn := range vpns {
+		if err := t.Install(vpn, pfns[i]); err != nil {
+			// Table memory exhausted: undo the pins and fail whole.
+			if uerr := d.host.UnpinPages(proc, vpns); uerr != nil {
+				panic(fmt.Sprintf("core: rollback unpin failed: %v", uerr))
+			}
+			for _, done := range vpns[:i] {
+				t.Invalidate(done)
+				d.cache.Invalidate(tlbcache.Key{PID: proc.PID(), VPN: done})
+			}
+			return nil, err
+		}
+	}
+	return pfns, nil
+}
+
+// HandleSwappedTable is the interrupt path of §3.3's table paging:
+// "when the network interface detects that a page of the second-level
+// table has been swapped out, it can interrupt the host OS to bring in
+// the page." The host takes the interrupt, pays the disk access, and
+// swaps the table back in.
+func (d *Driver) HandleSwappedTable(pid units.ProcID, vpn units.VPN) error {
+	t, ok := d.tables[pid]
+	if !ok {
+		return fmt.Errorf("core: pid %d not registered", pid)
+	}
+	return d.host.Interrupt(func() error {
+		if disk := t.Disk(); disk != nil {
+			d.host.Clock().Advance(disk.AccessTime)
+		}
+		return t.SwapIn(vpn)
+	})
+}
+
+// IoctlUnpin releases pages: the translation entries revert to the
+// garbage frame, any cached copies on the NIC are invalidated (the
+// consistency obligation of §2: host and NIC translations must agree),
+// and the pages unpin.
+func (d *Driver) IoctlUnpin(proc *hostos.Process, vpns []units.VPN) error {
+	t, ok := d.tables[proc.PID()]
+	if !ok {
+		return fmt.Errorf("core: pid %d not registered", proc.PID())
+	}
+	d.unpinCalls++
+	if err := d.host.UnpinPages(proc, vpns); err != nil {
+		return err
+	}
+	for _, vpn := range vpns {
+		t.Invalidate(vpn)
+		d.cache.Invalidate(tlbcache.Key{PID: proc.PID(), VPN: vpn})
+	}
+	return nil
+}

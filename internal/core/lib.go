@@ -1,0 +1,231 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"utlb/internal/hostos"
+	"utlb/internal/units"
+	"utlb/internal/vm"
+)
+
+// ErrNoVictim is returned when memory pressure demands an eviction but
+// every pinned page is locked by an outstanding transfer.
+var ErrNoVictim = errors.New("core: no evictable page (all pinned pages locked)")
+
+// LibConfig parameterises the user-level library.
+type LibConfig struct {
+	// Policy selects the replacement policy for victim pages.
+	Policy PolicyKind
+	// PolicySeed drives the RANDOM policy.
+	PolicySeed int64
+	// Prepin is the sequential pre-pinning width (§6.5): on a check
+	// miss, the library pins up to Prepin contiguous pages starting at
+	// the missing page. 1 disables pre-pinning.
+	Prepin int
+}
+
+// LibStats are the user-level library's cumulative counters, the raw
+// material of Tables 4, 5 and 7.
+type LibStats struct {
+	// Lookups counts calls to Lookup (communication operations).
+	Lookups int64
+	// CheckMisses counts lookups that found at least one unpinned page.
+	CheckMisses int64
+	// PagesPinned and PagesUnpinned count page-granularity operations.
+	PagesPinned   int64
+	PagesUnpinned int64
+	// PinTime, UnpinTime and CheckTime are the host time spent in each
+	// phase, for amortized-cost reporting (Table 7).
+	PinTime   units.Time
+	UnpinTime units.Time
+	CheckTime units.Time
+}
+
+// Lib is the user-level UTLB library of one process: it keeps the
+// pin-status bit vector, runs the lookup of Figure 2, invokes the pin
+// ioctl on check misses, and evicts pages by its replacement policy
+// when the OS refuses to pin more memory.
+type Lib struct {
+	host   *hostos.Host
+	drv    *Driver
+	proc   *hostos.Process
+	bv     *BitVector
+	policy Policy
+	prepin int
+
+	stats LibStats
+}
+
+// NewLib registers proc with the driver and returns its library.
+func NewLib(drv *Driver, proc *hostos.Process, cfg LibConfig) (*Lib, error) {
+	if _, err := drv.Register(proc); err != nil {
+		return nil, err
+	}
+	if cfg.Prepin < 1 {
+		cfg.Prepin = 1
+	}
+	host := drv.Host()
+	return &Lib{
+		host:   host,
+		drv:    drv,
+		proc:   proc,
+		bv:     NewBitVector(VASpacePages, host.Costs(), host.Clock()),
+		policy: NewPolicy(cfg.Policy, cfg.PolicySeed),
+		prepin: cfg.Prepin,
+	}, nil
+}
+
+// Proc returns the owning process.
+func (l *Lib) Proc() *hostos.Process { return l.proc }
+
+// Stats returns a copy of the cumulative counters.
+func (l *Lib) Stats() LibStats { return l.stats }
+
+// PinnedPages reports how many pages the library currently has pinned.
+func (l *Lib) PinnedPages() int { return l.policy.Len() }
+
+// Pinned reports whether the library believes vpn is pinned.
+func (l *Lib) Pinned(vpn units.VPN) bool { return l.bv.Get(vpn) }
+
+// Lock marks the pages of [va, va+n) ineligible for eviction while a
+// transfer is outstanding; Unlock releases them. The user-level
+// library "must only select virtual pages that will not be involved in
+// any outstanding send requests" (§3.1).
+func (l *Lib) Lock(va units.VAddr, n int) {
+	for i, vpn := 0, va.PageOf(); i < units.PagesSpanned(va, n); i++ {
+		l.policy.Lock(vpn + units.VPN(i))
+	}
+}
+
+// Unlock reverses Lock.
+func (l *Lib) Unlock(va units.VAddr, n int) {
+	for i, vpn := 0, va.PageOf(); i < units.PagesSpanned(va, n); i++ {
+		l.policy.Unlock(vpn + units.VPN(i))
+	}
+}
+
+// Lookup is the user-program flow of Figure 2: check the bit vector
+// for [va, va+nbytes), and pin-and-install any missing pages (with
+// sequential pre-pinning) before the request may be posted to the NIC.
+// After Lookup returns, every page of the buffer is pinned and has a
+// valid entry in the process' translation table.
+func (l *Lib) Lookup(va units.VAddr, nbytes int) error {
+	pages := units.PagesSpanned(va, nbytes)
+	if pages == 0 {
+		return nil
+	}
+	vpn := va.PageOf()
+	l.stats.Lookups++
+
+	t0 := l.host.Clock().Now()
+	missing := l.bv.Check(vpn, pages)
+	l.stats.CheckTime += l.host.Clock().Now() - t0
+
+	for i := 0; i < pages; i++ {
+		l.policy.Touch(vpn + units.VPN(i))
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	l.stats.CheckMisses++
+
+	toPin := l.prepinList(missing)
+	if err := l.pinAll(va, nbytes, toPin); err != nil {
+		return err
+	}
+	return nil
+}
+
+// prepinList expands the missing pages by the sequential pre-pinning
+// policy: for each missing page, pin up to prepin contiguous pages
+// starting there, skipping pages already pinned or already scheduled.
+func (l *Lib) prepinList(missing []units.VPN) []units.VPN {
+	scheduled := make(map[units.VPN]bool, len(missing)*l.prepin)
+	var list []units.VPN
+	for _, m := range missing {
+		for i := 0; i < l.prepin; i++ {
+			p := m + units.VPN(i)
+			if p >= VASpacePages || scheduled[p] || l.bv.Get(p) {
+				continue
+			}
+			scheduled[p] = true
+			list = append(list, p)
+		}
+	}
+	return list
+}
+
+// pinAll pins list via the driver, evicting victims one page at a time
+// (§6.5: "unpinning is still done one page at a time") whenever the OS
+// reports the pin quota full. The pages of the triggering buffer are
+// locked so eviction never tears down the request being assembled.
+func (l *Lib) pinAll(va units.VAddr, nbytes int, list []units.VPN) error {
+	if len(list) == 0 {
+		return nil
+	}
+	l.Lock(va, nbytes)
+	defer l.Unlock(va, nbytes)
+
+	for {
+		t0 := l.host.Clock().Now()
+		_, err := l.drv.IoctlPin(l.proc, list)
+		l.stats.PinTime += l.host.Clock().Now() - t0
+		if err == nil {
+			l.stats.PagesPinned += int64(len(list))
+			for _, p := range list {
+				l.bv.Set(p, 1)
+				l.policy.Insert(p)
+			}
+			return nil
+		}
+		if !errors.Is(err, vm.ErrPinLimit) {
+			return fmt.Errorf("core: pinning %d pages: %w", len(list), err)
+		}
+		// Capacity: evict one victim and retry. If the request alone
+		// exceeds the quota, shrink it from the tail — the lookup's own
+		// pages must win over speculative pre-pins.
+		if err := l.evictOne(); err != nil {
+			if len(list) > 1 {
+				list = list[:len(list)-1]
+				continue
+			}
+			return err
+		}
+	}
+}
+
+// evictOne unpins one victim chosen by the replacement policy.
+func (l *Lib) evictOne() error {
+	victim, ok := l.policy.Victim()
+	if !ok {
+		return ErrNoVictim
+	}
+	t0 := l.host.Clock().Now()
+	err := l.drv.IoctlUnpin(l.proc, []units.VPN{victim})
+	l.stats.UnpinTime += l.host.Clock().Now() - t0
+	if err != nil {
+		return fmt.Errorf("core: evicting page %#x: %w", victim, err)
+	}
+	l.stats.PagesUnpinned++
+	l.bv.Clear(victim, 1)
+	l.policy.Remove(victim)
+	return nil
+}
+
+// UnpinAll releases every page the library pinned (shutdown path).
+func (l *Lib) UnpinAll() error {
+	for l.policy.Len() > 0 {
+		victim, ok := l.policy.Victim()
+		if !ok {
+			return ErrNoVictim
+		}
+		if err := l.drv.IoctlUnpin(l.proc, []units.VPN{victim}); err != nil {
+			return err
+		}
+		l.stats.PagesUnpinned++
+		l.bv.Clear(victim, 1)
+		l.policy.Remove(victim)
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+// Package core implements the paper's primary contribution: the
+// User-managed TLB. It contains the user-level lookup structures (the
+// pin-status bit vector of Hierarchical-UTLB and the two-level lookup
+// tree of the per-process UTLB), the host-resident hierarchical
+// translation table, the device driver that pins pages and installs
+// translations, the NIC-side translator that services lookups out of
+// the Shared UTLB-Cache, and the user-selectable replacement policies
+// that decide which pages to unpin under memory pressure (§3.4).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"utlb/internal/units"
+)
+
+// PolicyKind selects one of the five predefined replacement policies
+// the paper offers applications (§3.4).
+type PolicyKind int
+
+// The predefined policies.
+const (
+	LRU PolicyKind = iota
+	MRU
+	LFU
+	MFU
+	Random
+)
+
+func (k PolicyKind) String() string {
+	switch k {
+	case LRU:
+		return "LRU"
+	case MRU:
+		return "MRU"
+	case LFU:
+		return "LFU"
+	case MFU:
+		return "MFU"
+	case Random:
+		return "RANDOM"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(k))
+	}
+}
+
+// ParsePolicy converts a policy name to its kind.
+func ParsePolicy(name string) (PolicyKind, error) {
+	for _, k := range []PolicyKind{LRU, MRU, LFU, MFU, Random} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown policy %q", name)
+}
+
+// Policy tracks the set of pinned pages of one process and selects
+// eviction victims. The user-level library must only evict pages with
+// no outstanding transfer, so Victim skips pages the caller has locked
+// (see Lock/Unlock).
+type Policy interface {
+	// Kind reports which predefined policy this is.
+	Kind() PolicyKind
+	// Touch records a use of vpn. Unknown pages are ignored.
+	Touch(vpn units.VPN)
+	// Insert adds a newly pinned page to the tracked set.
+	Insert(vpn units.VPN)
+	// Remove drops an unpinned page from the tracked set.
+	Remove(vpn units.VPN)
+	// Contains reports whether vpn is tracked.
+	Contains(vpn units.VPN) bool
+	// Len reports how many pages are tracked.
+	Len() int
+	// Victim selects a page to evict, or ok=false when every tracked
+	// page is locked (or none is tracked). The victim stays tracked
+	// until Remove.
+	Victim() (vpn units.VPN, ok bool)
+	// Lock marks vpn as ineligible for eviction (outstanding send);
+	// Unlock reverses it. Locks nest.
+	Lock(vpn units.VPN)
+	Unlock(vpn units.VPN)
+}
+
+// pageMeta is the per-page state shared by all policy implementations.
+type pageMeta struct {
+	seq   int64 // last-use stamp (LRU/MRU), insertion stamp for ties
+	freq  int64 // use count (LFU/MFU)
+	locks int
+}
+
+// basePolicy holds the common bookkeeping; victim selection differs
+// per kind. Selection is a deterministic scan: page footprints are a
+// few thousand entries and eviction happens far less often than Touch,
+// so an O(n) victim scan keeps every policy trivially correct.
+type basePolicy struct {
+	kind  PolicyKind
+	pages map[units.VPN]*pageMeta
+	tick  int64
+	rng   *rand.Rand
+}
+
+// NewPolicy returns a replacement policy of the given kind. seed drives
+// the RANDOM policy and is ignored by the others.
+func NewPolicy(kind PolicyKind, seed int64) Policy {
+	return &basePolicy{
+		kind:  kind,
+		pages: make(map[units.VPN]*pageMeta),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (p *basePolicy) Kind() PolicyKind { return p.kind }
+
+func (p *basePolicy) Touch(vpn units.VPN) {
+	m, ok := p.pages[vpn]
+	if !ok {
+		return
+	}
+	p.tick++
+	m.seq = p.tick
+	m.freq++
+}
+
+func (p *basePolicy) Insert(vpn units.VPN) {
+	if _, ok := p.pages[vpn]; ok {
+		return
+	}
+	p.tick++
+	p.pages[vpn] = &pageMeta{seq: p.tick, freq: 1}
+}
+
+func (p *basePolicy) Remove(vpn units.VPN) { delete(p.pages, vpn) }
+
+func (p *basePolicy) Contains(vpn units.VPN) bool {
+	_, ok := p.pages[vpn]
+	return ok
+}
+
+func (p *basePolicy) Len() int { return len(p.pages) }
+
+func (p *basePolicy) Lock(vpn units.VPN) {
+	if m, ok := p.pages[vpn]; ok {
+		m.locks++
+	}
+}
+
+func (p *basePolicy) Unlock(vpn units.VPN) {
+	if m, ok := p.pages[vpn]; ok && m.locks > 0 {
+		m.locks--
+	}
+}
+
+func (p *basePolicy) Victim() (units.VPN, bool) {
+	if p.kind == Random {
+		return p.randomVictim()
+	}
+	var (
+		best   units.VPN
+		bestM  *pageMeta
+		found  bool
+		better func(m, cur *pageMeta) bool
+	)
+	switch p.kind {
+	case LRU:
+		better = func(m, cur *pageMeta) bool { return m.seq < cur.seq }
+	case MRU:
+		better = func(m, cur *pageMeta) bool { return m.seq > cur.seq }
+	case LFU:
+		better = func(m, cur *pageMeta) bool {
+			return m.freq < cur.freq || (m.freq == cur.freq && m.seq < cur.seq)
+		}
+	case MFU:
+		better = func(m, cur *pageMeta) bool {
+			return m.freq > cur.freq || (m.freq == cur.freq && m.seq < cur.seq)
+		}
+	default:
+		panic(fmt.Sprintf("core: victim for unknown policy %v", p.kind))
+	}
+	for vpn, m := range p.pages {
+		if m.locks > 0 {
+			continue
+		}
+		if !found || better(m, bestM) || (sameOrder(m, bestM) && vpn < best) {
+			best, bestM, found = vpn, m, true
+		}
+	}
+	return best, found
+}
+
+// sameOrder reports whether two pages compare equal under the active
+// ordering, in which case the lower VPN wins for determinism.
+func sameOrder(a, b *pageMeta) bool { return a.seq == b.seq && a.freq == b.freq }
+
+func (p *basePolicy) randomVictim() (units.VPN, bool) {
+	// Deterministic under a fixed seed: collect unlocked pages in VPN
+	// order, then pick one uniformly.
+	candidates := make([]units.VPN, 0, len(p.pages))
+	for vpn, m := range p.pages {
+		if m.locks == 0 {
+			candidates = append(candidates, vpn)
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, false
+	}
+	// Map iteration order is randomised; sort so the seeded pick is
+	// reproducible run to run.
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	return candidates[p.rng.Intn(len(candidates))], true
+}

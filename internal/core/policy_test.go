@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"utlb/internal/units"
+)
+
+func TestPolicyKindStrings(t *testing.T) {
+	names := map[PolicyKind]string{LRU: "LRU", MRU: "MRU", LFU: "LFU", MFU: "MFU", Random: "RANDOM"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q", int(k), k.String())
+		}
+		parsed, err := ParsePolicy(want)
+		if err != nil || parsed != k {
+			t.Errorf("ParsePolicy(%q) = %v, %v", want, parsed, err)
+		}
+	}
+	if _, err := ParsePolicy("FIFO"); err == nil {
+		t.Error("ParsePolicy accepted unknown name")
+	}
+	if PolicyKind(99).String() == "" {
+		t.Error("unknown kind should format")
+	}
+}
+
+func TestLRUVictim(t *testing.T) {
+	p := NewPolicy(LRU, 0)
+	for _, v := range []units.VPN{1, 2, 3} {
+		p.Insert(v)
+	}
+	p.Touch(1) // order now: 2, 3, 1
+	if v, ok := p.Victim(); !ok || v != 2 {
+		t.Errorf("LRU victim = %d (%v), want 2", v, ok)
+	}
+	p.Touch(2)
+	if v, _ := p.Victim(); v != 3 {
+		t.Errorf("LRU victim = %d, want 3", v)
+	}
+}
+
+func TestMRUVictim(t *testing.T) {
+	p := NewPolicy(MRU, 0)
+	for _, v := range []units.VPN{1, 2, 3} {
+		p.Insert(v)
+	}
+	p.Touch(2)
+	if v, ok := p.Victim(); !ok || v != 2 {
+		t.Errorf("MRU victim = %d (%v), want 2", v, ok)
+	}
+}
+
+func TestLFUVictim(t *testing.T) {
+	p := NewPolicy(LFU, 0)
+	for _, v := range []units.VPN{1, 2, 3} {
+		p.Insert(v)
+	}
+	p.Touch(1)
+	p.Touch(1)
+	p.Touch(3)
+	// freq: 1->3, 2->1, 3->2
+	if v, _ := p.Victim(); v != 2 {
+		t.Errorf("LFU victim = %d, want 2", v)
+	}
+}
+
+func TestMFUVictim(t *testing.T) {
+	p := NewPolicy(MFU, 0)
+	for _, v := range []units.VPN{1, 2, 3} {
+		p.Insert(v)
+	}
+	p.Touch(1)
+	p.Touch(1)
+	if v, _ := p.Victim(); v != 1 {
+		t.Errorf("MFU victim = %d, want 1", v)
+	}
+}
+
+func TestRandomVictimDeterministicUnderSeed(t *testing.T) {
+	pick := func(seed int64) units.VPN {
+		p := NewPolicy(Random, seed)
+		for v := units.VPN(0); v < 50; v++ {
+			p.Insert(v)
+		}
+		v, ok := p.Victim()
+		if !ok {
+			t.Fatal("no victim")
+		}
+		return v
+	}
+	if pick(7) != pick(7) {
+		t.Error("same seed picked different victims")
+	}
+}
+
+func TestVictimEmptyAndLocked(t *testing.T) {
+	for _, kind := range []PolicyKind{LRU, MRU, LFU, MFU, Random} {
+		p := NewPolicy(kind, 1)
+		if _, ok := p.Victim(); ok {
+			t.Errorf("%v: victim from empty set", kind)
+		}
+		p.Insert(9)
+		p.Lock(9)
+		if _, ok := p.Victim(); ok {
+			t.Errorf("%v: victim despite lock", kind)
+		}
+		p.Unlock(9)
+		if v, ok := p.Victim(); !ok || v != 9 {
+			t.Errorf("%v: victim after unlock = %d (%v)", kind, v, ok)
+		}
+	}
+}
+
+func TestLocksNest(t *testing.T) {
+	p := NewPolicy(LRU, 0)
+	p.Insert(1)
+	p.Lock(1)
+	p.Lock(1)
+	p.Unlock(1)
+	if _, ok := p.Victim(); ok {
+		t.Error("nested lock released too early")
+	}
+	p.Unlock(1)
+	if _, ok := p.Victim(); !ok {
+		t.Error("victim unavailable after balanced unlocks")
+	}
+	p.Unlock(1) // extra unlock is harmless
+}
+
+func TestInsertRemoveContains(t *testing.T) {
+	p := NewPolicy(LRU, 0)
+	p.Insert(5)
+	p.Insert(5) // idempotent
+	if p.Len() != 1 || !p.Contains(5) {
+		t.Errorf("Len=%d Contains=%v", p.Len(), p.Contains(5))
+	}
+	p.Touch(6) // unknown page ignored
+	p.Remove(5)
+	if p.Len() != 0 || p.Contains(5) {
+		t.Error("Remove failed")
+	}
+}
+
+// Property: for every policy, a victim is always an unlocked tracked
+// page, and evicting until empty visits each page exactly once.
+func TestVictimAlwaysTrackedProperty(t *testing.T) {
+	f := func(kindRaw uint8, vpnsRaw []uint16) bool {
+		kind := PolicyKind(kindRaw % 5)
+		p := NewPolicy(kind, 3)
+		inserted := map[units.VPN]bool{}
+		for _, v := range vpnsRaw {
+			vpn := units.VPN(v % 256)
+			p.Insert(vpn)
+			inserted[vpn] = true
+		}
+		seen := map[units.VPN]bool{}
+		for p.Len() > 0 {
+			v, ok := p.Victim()
+			if !ok || !inserted[v] || seen[v] {
+				return false
+			}
+			seen[v] = true
+			p.Remove(v)
+		}
+		return len(seen) == len(inserted)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// LRU eviction order must equal insertion order when nothing is touched.
+func TestLRUOrderProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		p := NewPolicy(LRU, 0)
+		count := int(n%32) + 1
+		for i := 0; i < count; i++ {
+			p.Insert(units.VPN(i))
+		}
+		for i := 0; i < count; i++ {
+			v, ok := p.Victim()
+			if !ok || v != units.VPN(i) {
+				return false
+			}
+			p.Remove(v)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

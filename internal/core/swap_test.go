@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+
+	"utlb/internal/phys"
+	"utlb/internal/units"
+)
+
+func newSwapTable(t *testing.T, frames int) (*Table, *Disk, *phys.Memory) {
+	t.Helper()
+	mem := phys.NewMemory(int64(frames) * units.PageSize)
+	garbage, err := mem.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewTable(1, mem, garbage)
+	disk := NewDisk(DefaultDiskAccessTime)
+	tbl.AttachDisk(disk)
+	return tbl, disk, mem
+}
+
+func TestSwapOutInRoundTrip(t *testing.T) {
+	tbl, disk, mem := newSwapTable(t, 8)
+	tbl.Install(10, 42)
+	free := mem.FreeFrames()
+
+	if err := tbl.SwapOut(10, true); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Swapped(10) {
+		t.Error("table not marked swapped")
+	}
+	if mem.FreeFrames() != free+1 {
+		t.Error("frame not released on swap-out")
+	}
+	if disk.Blocks() != 1 || disk.Writes() != 1 {
+		t.Errorf("disk state: blocks=%d writes=%d", disk.Blocks(), disk.Writes())
+	}
+	// NIC-visible address is gone while swapped.
+	if _, ok := tbl.EntryAddr(10); ok {
+		t.Error("EntryAddr valid for swapped table")
+	}
+	// Host-side Lookup still sees the entry (reads the disk copy).
+	if pfn, valid := tbl.Lookup(10); !valid || pfn != 42 {
+		t.Errorf("Lookup over disk = %d, %v", pfn, valid)
+	}
+
+	if err := tbl.SwapIn(10); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Swapped(10) || disk.Blocks() != 0 {
+		t.Error("swap-in left state")
+	}
+	if pfn, valid := tbl.Lookup(10); !valid || pfn != 42 {
+		t.Errorf("after swap-in = %d, %v", pfn, valid)
+	}
+}
+
+func TestSwapOutGuards(t *testing.T) {
+	tbl, _, _ := newSwapTable(t, 8)
+	tbl.Install(10, 42)
+	// Live entries block a non-forced swap.
+	if err := tbl.SwapOut(10, false); err == nil {
+		t.Error("swapped out a table with valid entries without force")
+	}
+	tbl.Invalidate(10)
+	if err := tbl.SwapOut(10, false); err != nil {
+		t.Errorf("swap-out of dead table failed: %v", err)
+	}
+	// Double swap-out fails.
+	if err := tbl.SwapOut(10, true); err == nil {
+		t.Error("double swap-out accepted")
+	}
+	// Swap of a non-resident table fails.
+	if err := tbl.SwapOut(units.VPN(900000), true); err == nil {
+		t.Error("swap-out of missing table accepted")
+	}
+	// Swap-in of a resident table fails.
+	tbl.SwapIn(10)
+	if err := tbl.SwapIn(10); err == nil {
+		t.Error("double swap-in accepted")
+	}
+}
+
+func TestSwapWithoutDisk(t *testing.T) {
+	mem := phys.NewMemory(4 * units.PageSize)
+	g, _ := mem.Alloc()
+	tbl := NewTable(1, mem, g)
+	tbl.Install(0, 1)
+	if err := tbl.SwapOut(0, true); err == nil {
+		t.Error("swap-out without disk accepted")
+	}
+}
+
+func TestInstallIntoSwappedTableBringsItBack(t *testing.T) {
+	tbl, _, _ := newSwapTable(t, 8)
+	tbl.Install(10, 42)
+	tbl.SwapOut(10, true)
+	// Installing a neighbour in the same region swaps the table in.
+	if err := tbl.Install(11, 43); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Swapped(10) {
+		t.Error("table still swapped after install")
+	}
+	if pfn, valid := tbl.Lookup(10); !valid || pfn != 42 {
+		t.Errorf("old entry lost across swap: %d %v", pfn, valid)
+	}
+	if pfn, valid := tbl.Lookup(11); !valid || pfn != 43 {
+		t.Errorf("new entry missing: %d %v", pfn, valid)
+	}
+}
+
+func TestInvalidateSwappedEntry(t *testing.T) {
+	tbl, _, _ := newSwapTable(t, 8)
+	tbl.Install(10, 42)
+	tbl.SwapOut(10, true)
+	tbl.Invalidate(10)
+	if tbl.Swapped(10) {
+		t.Error("invalidate left table on disk")
+	}
+	if _, valid := tbl.Lookup(10); valid {
+		t.Error("entry survived invalidate")
+	}
+}
+
+func TestReleaseFreesDiskBlocks(t *testing.T) {
+	tbl, disk, mem := newSwapTable(t, 8)
+	tbl.Install(10, 42)
+	tbl.Install(600, 43) // second region
+	tbl.SwapOut(10, true)
+	tbl.Release()
+	if disk.Blocks() != 0 {
+		t.Errorf("disk blocks leaked: %d", disk.Blocks())
+	}
+	if mem.FreeFrames() != int(mem.NumFrames())-1 { // garbage stays allocated
+		t.Errorf("frames leaked: %d free of %d", mem.FreeFrames(), mem.NumFrames())
+	}
+}
+
+// The NIC path: a miss on a swapped table interrupts the host, pays
+// the disk access, and then completes the translation.
+func TestTranslateThroughSwappedTable(t *testing.T) {
+	r := newRig(t, 1024)
+	lib := r.spawnLib(t, 1, 0, LibConfig{Policy: LRU})
+	tr := NewTranslator(r.drv, 1)
+	disk := NewDisk(DefaultDiskAccessTime)
+	table := r.drv.TableOf(1)
+	table.AttachDisk(disk)
+
+	lib.Lookup(0, units.PageSize)
+	if err := table.SwapOut(0, true); err != nil {
+		t.Fatal(err)
+	}
+
+	intrBefore := r.host.InterruptCount()
+	hostBefore := r.host.Clock().Now()
+	pfn, info := tr.Translate(1, 0)
+	if info.Garbage || !info.SwapIn {
+		t.Fatalf("translate info = %+v", info)
+	}
+	want, _ := lib.Proc().Space().Translate(0)
+	if pfn != want {
+		t.Errorf("pfn = %d, want %d", pfn, want)
+	}
+	if r.host.InterruptCount() != intrBefore+1 {
+		t.Error("swap-in did not interrupt the host")
+	}
+	if charged := r.host.Clock().Now() - hostBefore; charged < DefaultDiskAccessTime {
+		t.Errorf("disk time not charged: %v", charged)
+	}
+	if tr.SwapIns() != 1 {
+		t.Errorf("SwapIns = %d", tr.SwapIns())
+	}
+	// Subsequent translations are normal hits.
+	if _, info := tr.Translate(1, 0); !info.Hit {
+		t.Error("post-swap-in translate missed")
+	}
+}

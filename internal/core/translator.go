@@ -1,0 +1,137 @@
+package core
+
+import (
+	"utlb/internal/tlbcache"
+	"utlb/internal/units"
+)
+
+// TranslateInfo describes one NIC-side translation.
+type TranslateInfo struct {
+	// Hit reports a Shared UTLB-Cache hit.
+	Hit bool
+	// Probes is the number of cache entries the firmware examined.
+	Probes int
+	// Fetched is the number of entries DMAed from the host table on a
+	// miss (prefetch width, clamped at the second-level table edge).
+	Fetched int
+	// Garbage reports that the translation resolved to the garbage
+	// frame: the page was not pinned. The transfer still proceeds —
+	// "at worst, the network interface transfers data to and from an
+	// unused garbage page; no harm is done" (§4.2).
+	Garbage bool
+	// SwapIn reports that the miss hit a swapped-out second-level
+	// table and took the §3.3 interrupt path to bring it in.
+	SwapIn bool
+}
+
+// Translator is the NIC firmware's translation lookup (§3.3): probe
+// the Shared UTLB-Cache; on a miss, one SRAM reference reads the
+// process' page directory and one DMA fetches entries from the
+// second-level table in host memory.
+type Translator struct {
+	drv *Driver
+	// prefetch is how many consecutive entries each miss fetches
+	// (§6.4); 1 disables prefetching.
+	prefetch int
+
+	lookups int64
+	misses  int64
+	garbage int64
+	swapIns int64
+}
+
+// NewTranslator returns a translator over the driver's cache and
+// tables. prefetch < 1 is treated as 1.
+func NewTranslator(drv *Driver, prefetch int) *Translator {
+	if prefetch < 1 {
+		prefetch = 1
+	}
+	return &Translator{drv: drv, prefetch: prefetch}
+}
+
+// Prefetch reports the configured prefetch width.
+func (tr *Translator) Prefetch() int { return tr.prefetch }
+
+// Lookups, Misses and GarbageHits report cumulative outcomes. Misses
+// counts Shared UTLB-Cache misses (the paper's "NI misses").
+func (tr *Translator) Lookups() int64     { return tr.lookups }
+func (tr *Translator) Misses() int64      { return tr.misses }
+func (tr *Translator) GarbageHits() int64 { return tr.garbage }
+
+// SwapIns reports how many misses required a second-level table to be
+// brought back from disk.
+func (tr *Translator) SwapIns() int64 { return tr.swapIns }
+
+// Translate resolves (pid, vpn) to a physical frame, charging all NIC
+// costs. It never fails: unpinned pages resolve to the garbage frame.
+func (tr *Translator) Translate(pid units.ProcID, vpn units.VPN) (units.PFN, TranslateInfo) {
+	nic := tr.drv.NIC()
+	cache := tr.drv.Cache()
+	tr.lookups++
+
+	nic.ChargeLookupBase()
+	key := tlbcache.Key{PID: pid, VPN: vpn}
+	res := cache.Lookup(key)
+	nic.ChargeProbes(res.Probes)
+	if res.Hit {
+		return res.PFN, TranslateInfo{Hit: true, Probes: res.Probes}
+	}
+	tr.misses++
+	info := TranslateInfo{Probes: res.Probes}
+
+	// Miss: one SRAM reference for the page directory...
+	nic.ChargeDirectoryProbe()
+	table := tr.drv.TableOf(pid)
+	if table == nil {
+		// Unregistered process: garbage semantics, nothing to fetch.
+		tr.garbage++
+		info.Garbage = true
+		return tr.drv.Garbage(), info
+	}
+	entryAddr, ok := table.EntryAddr(vpn)
+	if !ok && table.Swapped(vpn) {
+		// §3.3 table paging: the directory's swapped bit is set, so
+		// the firmware interrupts the host to bring the table in.
+		tr.swapIns++
+		if err := tr.drv.HandleSwappedTable(pid, vpn); err == nil {
+			entryAddr, ok = table.EntryAddr(vpn)
+		}
+		info.SwapIn = true
+	}
+	if !ok {
+		// No second-level table yet: the page was never pinned.
+		tr.garbage++
+		info.Garbage = true
+		return tr.drv.Garbage(), info
+	}
+
+	// ...and one DMA for the entries, prefetching within the
+	// second-level table.
+	count := tr.prefetch
+	if rem := L2Entries - int(vpn)%L2Entries; count > rem {
+		count = rem
+	}
+	words := nic.FetchEntries(entryAddr, count)
+	info.Fetched = count
+
+	// Install the valid fetched entries. Invalid (garbage) entries are
+	// not cached: a later pin must not be shadowed by a stale line.
+	installed := 0
+	for i, w := range words {
+		pfn, valid := DecodeEntry(w)
+		if !valid {
+			continue
+		}
+		cache.Insert(tlbcache.Key{PID: pid, VPN: vpn + units.VPN(i)}, pfn)
+		installed++
+	}
+	nic.ChargeInstall(installed)
+
+	pfn, valid := DecodeEntry(words[0])
+	if !valid {
+		tr.garbage++
+		info.Garbage = true
+		return tr.drv.Garbage(), info
+	}
+	return pfn, info
+}

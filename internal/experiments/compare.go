@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+
+	"utlb/internal/sim"
+	"utlb/internal/stats"
+	"utlb/internal/trace"
+)
+
+// CompareTrace runs the paper's head-to-head comparison (UTLB vs the
+// interrupt baseline, Table 4 layout) on an arbitrary trace — a file
+// captured elsewhere, or one recorded from the SVM layer. Cache sizes
+// sweep 1K-16K entries as in the paper; pinLimitPages of 0 means
+// unconstrained memory.
+func CompareTrace(tr trace.Trace, seed int64, pinLimitPages int) (*stats.Table, error) {
+	tbl := stats.NewTable(
+		fmt.Sprintf("UTLB vs Intr on supplied trace (%d lookups, %d-page footprint, pin limit %d)",
+			tr.Lookups(), tr.Footprint(), pinLimitPages),
+		"cache", "UTLB check misses", "NI misses (both)", "UTLB unpins", "Intr unpins",
+		"UTLB lookup us", "Intr lookup us")
+	for _, entries := range cacheSizes {
+		cfg := sim.DefaultConfig()
+		cfg.CacheEntries = entries
+		cfg.Seed = seed
+		cfg.PinLimitPages = pinLimitPages
+		u, err := sim.Run(tr, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("compare UTLB %d: %w", entries, err)
+		}
+		cfg.Mechanism = sim.Interrupt
+		i, err := sim.Run(tr, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("compare Intr %d: %w", entries, err)
+		}
+		tbl.AddRow(sizeLabel(entries),
+			fmt.Sprintf("%.2f", u.CheckMissRate()),
+			fmt.Sprintf("%.2f/%.2f", u.NIMissRate(), i.NIMissRate()),
+			fmt.Sprintf("%.2f", u.UnpinRate()),
+			fmt.Sprintf("%.2f", i.UnpinRate()),
+			fmt.Sprintf("%.1f", u.AvgLookupCost().Micros()),
+			fmt.Sprintf("%.1f", i.AvgLookupCost().Micros()))
+	}
+	return tbl, nil
+}

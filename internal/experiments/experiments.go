@@ -1,0 +1,211 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§5-§6). Each experiment returns renderable text
+// via internal/stats; cmd/utlbsim and bench_test.go are thin shells
+// around this package. DESIGN.md carries the experiment-to-module
+// index; EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"utlb/internal/trace"
+	"utlb/internal/units"
+	"utlb/internal/workload"
+)
+
+// Options tune experiment execution.
+type Options struct {
+	// Scale shrinks the workload traces (1.0 = the paper's size).
+	Scale float64
+	// Seed drives workload generation and randomised policies.
+	Seed int64
+	// Apps restricts the application set (nil = all seven).
+	Apps []string
+	// Nodes is how many cluster nodes to simulate and average over
+	// (the paper runs four and reports per-node averages). Default 1.
+	Nodes int
+}
+
+// DefaultOptions runs the full paper-scale evaluation.
+func DefaultOptions() Options { return Options{Scale: 1.0, Seed: 1998} }
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 1.0
+	}
+	return o.Scale
+}
+
+func (o Options) nodes() int {
+	if o.Nodes <= 0 {
+		return 1
+	}
+	return o.Nodes
+}
+
+func (o Options) apps() []string {
+	if len(o.Apps) == 0 {
+		return workload.Names()
+	}
+	return o.Apps
+}
+
+// traceFor generates (and memoises) the node-0 trace of app.
+func (o Options) traceFor(app string, cache map[string]trace.Trace) (trace.Trace, error) {
+	if tr, ok := cache[app]; ok {
+		return tr, nil
+	}
+	spec, err := workload.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	tr := spec.Generate(workload.Config{
+		Node: 0, FirstPID: 1, Seed: o.Seed, Scale: o.scale(),
+	})
+	cache[app] = tr
+	return tr, nil
+}
+
+// nodeTracesFor generates one trace per simulated node (distinct
+// seeds, globally unique PIDs), memoised per app.
+func (o Options) nodeTracesFor(app string, cache map[string][]trace.Trace) ([]trace.Trace, error) {
+	if trs, ok := cache[app]; ok {
+		return trs, nil
+	}
+	spec, err := workload.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	trs := make([]trace.Trace, o.nodes())
+	for n := range trs {
+		trs[n] = spec.Generate(workload.Config{
+			Node:     units.NodeID(n),
+			FirstPID: units.ProcID(1 + n*workload.ProcsPerNode),
+			Seed:     o.Seed + int64(n)*7919,
+			Scale:    o.scale(),
+		})
+	}
+	cache[app] = trs
+	return trs, nil
+}
+
+// avgOver runs f on every node trace of app and averages the returned
+// rates element-wise — "all the numbers are averaged over the total
+// number of lookups ... on each node" (§6.2).
+func (o Options) avgOver(app string, cache map[string][]trace.Trace,
+	f func(trace.Trace) ([]float64, error)) ([]float64, error) {
+	trs, err := o.nodeTracesFor(app, cache)
+	if err != nil {
+		return nil, err
+	}
+	var sum []float64
+	for _, tr := range trs {
+		vals, err := f(tr)
+		if err != nil {
+			return nil, err
+		}
+		if sum == nil {
+			sum = make([]float64, len(vals))
+		}
+		for i, v := range vals {
+			sum[i] += v
+		}
+	}
+	for i := range sum {
+		sum[i] /= float64(len(trs))
+	}
+	return sum, nil
+}
+
+// Experiment names, in paper order; the ablations extend the paper's
+// own future-work list.
+var Names = []string{
+	"table1", "table2", "table3", "table4", "table5",
+	"table6", "table7", "table8", "fig7", "fig8",
+	"ablation-policies", "ablation-perprocess", "ablation-multiprog",
+	"svm-pipeline",
+}
+
+// Run executes the named experiment and writes its rendering to w.
+func Run(name string, opts Options, w io.Writer) error {
+	var (
+		out stringer
+		err error
+	)
+	switch name {
+	case "table1":
+		out = Table1()
+	case "table2":
+		out = Table2()
+	case "table3":
+		out, err = Table3(opts)
+	case "table4":
+		out, err = Table4(opts)
+	case "table5":
+		out, err = Table5(opts)
+	case "table6":
+		out, err = Table6(opts)
+	case "table7":
+		out, err = Table7(opts)
+	case "table8":
+		out, err = Table8(opts)
+	case "fig7":
+		out, err = Fig7(opts)
+	case "fig8":
+		var miss, cost stringer
+		miss, cost, err = Fig8(opts)
+		if err != nil {
+			return err
+		}
+		if err := render(w, miss); err != nil {
+			return err
+		}
+		return render(w, cost)
+	case "ablation-policies":
+		out, err = AblationPolicies(opts)
+	case "ablation-perprocess":
+		out, err = AblationPerProcess(opts)
+	case "ablation-multiprog":
+		out, err = AblationMultiprog(opts)
+	case "svm-pipeline":
+		out, err = SVMPipeline(opts)
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names)
+	}
+	if err != nil {
+		return err
+	}
+	return render(w, out)
+}
+
+// RunAll executes every experiment in order.
+func RunAll(opts Options, w io.Writer) error {
+	for _, name := range Names {
+		if _, err := fmt.Fprintf(w, "=== %s ===\n", name); err != nil {
+			return err
+		}
+		if err := Run(name, opts, w); err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type stringer interface{ String() string }
+
+func render(w io.Writer, s stringer) error {
+	_, err := io.WriteString(w, s.String())
+	return err
+}
+
+// sortedCopy returns a sorted copy of xs.
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

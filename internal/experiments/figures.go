@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+
+	"utlb/internal/bus"
+	"utlb/internal/core"
+	"utlb/internal/hostos"
+	"utlb/internal/nicsim"
+	"utlb/internal/sim"
+	"utlb/internal/stats"
+	"utlb/internal/tlbcache"
+	"utlb/internal/trace"
+	"utlb/internal/units"
+	"utlb/internal/vm"
+	"utlb/internal/workload"
+)
+
+// Fig7 breaks down translation-cache misses into compulsory, capacity
+// and conflict components per application and cache size — reproducing
+// "Figure 7: Breakdown of translation cache miss rates for 1K-16K
+// cache entries (with infinite host memory and no prefetch)". The
+// components are percentages of NI references, matching the paper's
+// stacked-bar y-axis.
+func Fig7(opts Options) (*stats.Table, error) {
+	tbl := stats.NewTable(
+		"Figure 7: miss-rate breakdown, % of NI references (infinite host memory, no prefetch)",
+		"application", "cache", "compulsory", "capacity", "conflict", "total")
+	cache := map[string]trace.Trace{}
+	all := scaledSizes(opts)
+	sizes := []int{all[0], all[2], all[3], all[4]} // 1K, 4K, 8K, 16K
+
+	for _, app := range opts.apps() {
+		tr, err := opts.traceFor(app, cache)
+		if err != nil {
+			return nil, err
+		}
+		for i, entries := range sizes {
+			cfg := sim.DefaultConfig()
+			cfg.CacheEntries = entries
+			cfg.Seed = opts.Seed
+			res, err := sim.Run(tr, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s %d: %w", app, entries, err)
+			}
+			label := ""
+			if i == 0 {
+				label = app
+			}
+			pct := func(n int64) string {
+				return fmt.Sprintf("%.1f", 100*float64(n)/float64(res.NIRefs))
+			}
+			tbl.AddRow(label, sizeLabel(entries),
+				pct(res.Compulsory), pct(res.Capacity), pct(res.Conflict),
+				pct(res.NIMisses))
+		}
+	}
+	return tbl, nil
+}
+
+// fig8Prefetches is the prefetch-width sweep of Figure 8.
+var fig8Prefetches = []int{1, 4, 8, 12, 16, 20, 24, 28, 32}
+
+// Fig8 sweeps the prefetch width on Radix for each cache size and
+// reports both the overall miss rate and the average NIC lookup cost —
+// reproducing "Figure 8: Prefetching effect in the translation cache
+// (RADIX with infinite host memory and a direct-mapped cache)".
+func Fig8(opts Options) (*stats.Figure, *stats.Figure, error) {
+	missFig := stats.NewFigure(
+		"Figure 8a: cache miss rate vs prefetch size (radix, infinite memory, direct-mapped)",
+		"entries fetched per miss", "miss rate")
+	costFig := stats.NewFigure(
+		"Figure 8b: average NIC lookup cost vs prefetch size (radix)",
+		"entries fetched per miss", "lookup cost (us)")
+	cache := map[string]trace.Trace{}
+	tr, err := opts.traceFor("radix", cache)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, entries := range scaledSizes(opts) {
+		series := sizeLabel(entries) + " entries"
+		for _, prefetch := range fig8Prefetches {
+			cfg := sim.DefaultConfig()
+			cfg.CacheEntries = entries
+			cfg.Prefetch = prefetch
+			// §6.4: "in order for prefetching to work well, translations
+			// for contiguous application pages must be available during
+			// a miss" — sequential pre-pinning (§6.5) provides them.
+			cfg.Prepin = prefetch
+			cfg.Seed = opts.Seed
+			res, err := sim.Run(tr, cfg)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig8 %d/%d: %w", entries, prefetch, err)
+			}
+			missFig.Series(series).Add(float64(prefetch), res.NIMissRatio())
+			costFig.Series(series).Add(float64(prefetch), res.AvgNICLookupCost().Micros())
+		}
+	}
+	return missFig, costFig, nil
+}
+
+// AblationPerProcess compares the Per-process UTLB (§3.1, static
+// tables in NIC SRAM) against the Hierarchical-UTLB with a Shared
+// UTLB-Cache (§3.2-3.3) under multiprogramming — the comparison the
+// paper lists as an open limitation ("we have not compared the
+// per-process UTLB with Shared UTLB-Cache approach").
+func AblationPerProcess(opts Options) (*stats.Table, error) {
+	tbl := stats.NewTable(
+		"Ablation: per-process UTLB vs Shared UTLB-Cache (per lookup)",
+		"application", "design", "table/cache entries", "check misses", "unpins", "host time us")
+	cache := map[string]trace.Trace{}
+
+	for _, app := range opts.apps() {
+		tr, err := opts.traceFor(app, cache)
+		if err != nil {
+			return nil, err
+		}
+		// Shared budget: the paper's 32 KB of SRAM = 8K entries total,
+		// scaled with the workload.
+		totalEntries := scaledSizes(opts)[3]
+		perProcEntries := totalEntries / workload.ProcsPerNode
+
+		// Shared UTLB-Cache run.
+		cfg := sim.DefaultConfig()
+		cfg.CacheEntries = totalEntries
+		cfg.Seed = opts.Seed
+		shared, err := sim.Run(tr, cfg)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(app, "shared-cache", fmt.Sprintf("%d", totalEntries),
+			fmt.Sprintf("%.2f", shared.CheckMissRate()),
+			fmt.Sprintf("%.2f", shared.UnpinRate()),
+			fmt.Sprintf("%.1f", shared.HostTime.Micros()/float64(shared.Lookups)))
+
+		// Per-process run.
+		pp, err := runPerProcess(tr, perProcEntries, opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("per-process %s: %w", app, err)
+		}
+		tbl.AddRow("", "per-process", fmt.Sprintf("%dx%d", workload.ProcsPerNode, perProcEntries),
+			fmt.Sprintf("%.2f", pp.CheckMissRate()),
+			fmt.Sprintf("%.2f", pp.UnpinRate()),
+			fmt.Sprintf("%.1f", pp.HostTime.Micros()/float64(pp.Lookups)))
+	}
+	return tbl, nil
+}
+
+// runPerProcess drives a trace through per-process UTLBs (one static
+// table per process).
+func runPerProcess(tr trace.Trace, entries int, seed int64) (sim.Result, error) {
+	var res sim.Result
+	sorted := append(trace.Trace(nil), tr...)
+	sorted.SortByTime()
+
+	frames := int64(sorted.Footprint())*2 + 8192
+	host := hostos.New(0, frames*units.PageSize, hostos.DefaultCosts())
+	clk := units.NewClock()
+	b := bus.New(host.Memory(), clk, bus.DefaultCosts())
+	// SRAM large enough for the static tables plus driver structures.
+	nic := nicsim.New(0, 64*units.MB, clk, b, nicsim.DefaultCosts())
+	drv, err := core.NewDriver(host, nic, tlbcache.Config{Entries: 16, Ways: 1})
+	if err != nil {
+		return res, err
+	}
+	utlbs := map[units.ProcID]*core.PerProcessUTLB{}
+	for _, pid := range sorted.PIDs() {
+		proc, err := host.Spawn(pid, fmt.Sprintf("proc%d", pid),
+			vm.NewSpace(pid, host.Memory(), 0))
+		if err != nil {
+			return res, err
+		}
+		u, err := core.NewPerProcessUTLB(drv, proc, entries,
+			core.LibConfig{Policy: core.LRU, PolicySeed: seed})
+		if err != nil {
+			return res, err
+		}
+		utlbs[pid] = u
+	}
+	for _, rec := range sorted {
+		u := utlbs[rec.PID]
+		indices, err := u.Lookup(rec.VA, int(rec.Bytes))
+		if err != nil {
+			return res, err
+		}
+		for _, idx := range indices {
+			res.NIRefs++
+			u.Translate(idx)
+		}
+	}
+	for _, u := range utlbs {
+		st := u.Stats()
+		res.Lookups += st.Lookups
+		res.CheckMisses += st.CheckMisses
+		res.Pins += st.PagesPinned
+		res.Unpins += st.PagesUnpinned
+		res.PinTime += st.PinTime
+		res.UnpinTime += st.UnpinTime
+		res.CheckTime += st.CheckTime
+	}
+	res.HostTime = host.Clock().Now()
+	res.NICTime = clk.Now()
+	return res, nil
+}

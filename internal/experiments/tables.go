@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"fmt"
+
+	"utlb/internal/core"
+	"utlb/internal/sim"
+	"utlb/internal/stats"
+	"utlb/internal/trace"
+	"utlb/internal/workload"
+)
+
+// cacheSizes is the 1K-16K sweep of Tables 4, 5 and 8.
+var cacheSizes = []int{1024, 2048, 4096, 8192, 16384}
+
+func sizeLabel(entries int) string {
+	if entries >= 1024 {
+		return fmt.Sprintf("%dK", entries/1024)
+	}
+	return fmt.Sprintf("%d", entries)
+}
+
+// scaledSizes shrinks the cache sweep along with the workload so
+// reduced-scale runs keep the same footprint-to-cache ratios.
+func scaledSizes(opts Options) []int {
+	s := opts.scale()
+	if s >= 1 {
+		return cacheSizes
+	}
+	out := make([]int, len(cacheSizes))
+	for i, e := range cacheSizes {
+		v := 16
+		for float64(v) < float64(e)*s {
+			v *= 2
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Table3 reports each application's problem size, communication
+// memory footprint and translation-lookup count, measured from the
+// generated traces — reproducing "Table 3".
+func Table3(opts Options) (*stats.Table, error) {
+	tbl := stats.NewTable(
+		"Table 3: application problem size, communication footprint, lookups",
+		"application", "problem size", "footprint (4KB pages)", "# translation lookups")
+	cache := map[string]trace.Trace{}
+	for _, app := range opts.apps() {
+		tr, err := opts.traceFor(app, cache)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := workload.ByName(app)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(app, spec.ProblemSize,
+			fmt.Sprintf("%d", tr.Footprint()),
+			fmt.Sprintf("%d", tr.Lookups()))
+	}
+	return tbl, nil
+}
+
+// comparisonTable renders the Table 4/5 layout: per cache size and
+// application, check misses / NI misses / unpins per lookup for UTLB
+// and the interrupt baseline.
+func comparisonTable(opts Options, title string, pinLimitPages int) (*stats.Table, error) {
+	apps := opts.apps()
+	header := []string{"cache", "characteristic (per lookup)"}
+	for _, app := range apps {
+		header = append(header, app+" UTLB", app+" Intr")
+	}
+	tbl := stats.NewTable(title, header...)
+	cache := map[string][]trace.Trace{}
+
+	for _, entries := range scaledSizes(opts) {
+		rows := [3][]string{
+			{sizeLabel(entries), "check misses"},
+			{"", "NI misses"},
+			{"", "unpins"},
+		}
+		for _, app := range apps {
+			// Per-node averages, as the paper reports (§6.2).
+			avg, err := opts.avgOver(app, cache, func(tr trace.Trace) ([]float64, error) {
+				cfg := sim.DefaultConfig()
+				cfg.CacheEntries = entries
+				cfg.PinLimitPages = pinLimitPages
+				cfg.Seed = opts.Seed
+				u, err := sim.Run(tr, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s UTLB %d: %w", app, entries, err)
+				}
+				cfg.Mechanism = sim.Interrupt
+				i, err := sim.Run(tr, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s Intr %d: %w", app, entries, err)
+				}
+				return []float64{
+					u.CheckMissRate(),
+					u.NIMissRate(), i.NIMissRate(),
+					u.UnpinRate(), i.UnpinRate(),
+				}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows[0] = append(rows[0], fmt.Sprintf("%.2f", avg[0]), "-")
+			rows[1] = append(rows[1], fmt.Sprintf("%.2f", avg[1]), fmt.Sprintf("%.2f", avg[2]))
+			rows[2] = append(rows[2], fmt.Sprintf("%.2f", avg[3]), fmt.Sprintf("%.2f", avg[4]))
+		}
+		for _, row := range rows {
+			tbl.AddRow(row...)
+		}
+	}
+	return tbl, nil
+}
+
+// Table4 compares UTLB against the interrupt baseline with infinite
+// host memory — reproducing "Table 4: Average translation overhead
+// breakdown: UTLB vs. Intr (infinite host memory, direct-mapped
+// translation cache with cache index offsetting, and no prefetch)".
+func Table4(opts Options) (*stats.Table, error) {
+	return comparisonTable(opts,
+		"Table 4: UTLB vs Intr per-lookup overheads (infinite host memory, direct-mapped+offset, no prefetch)",
+		0)
+}
+
+// Table5 repeats Table 4 under a 4 MB (1024-page) per-process pin
+// quota — reproducing "Table 5".
+func Table5(opts Options) (*stats.Table, error) {
+	limit := scaleLimit(1024, opts)
+	return comparisonTable(opts,
+		"Table 5: UTLB vs Intr per-lookup overheads (4 MB host memory per process, direct-mapped+offset, no prefetch)",
+		limit)
+}
+
+// scaleLimit shrinks a pin quota along with the workload scale.
+func scaleLimit(pages int, opts Options) int {
+	v := int(float64(pages) * opts.scale())
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+// Table6 reports the measured average translation lookup cost for
+// Barnes and FFT at 1K/4K/16K cache entries — reproducing "Table 6:
+// Average lookup cost comparison: UTLB vs. Intr."
+func Table6(opts Options) (*stats.Table, error) {
+	apps := []string{"barnes", "fft"}
+	tbl := stats.NewTable(
+		"Table 6: average lookup cost, UTLB vs Intr (us; infinite host memory, no prefetch, index offsetting)",
+		"cache entries", "barnes UTLB", "barnes Intr", "fft UTLB", "fft Intr")
+	cache := map[string]trace.Trace{}
+	sizes := scaledSizes(opts)
+	for _, entries := range []int{sizes[0], sizes[2], sizes[4]} {
+		row := []string{sizeLabel(entries)}
+		for _, app := range apps {
+			tr, err := opts.traceFor(app, cache)
+			if err != nil {
+				return nil, err
+			}
+			cfg := sim.DefaultConfig()
+			cfg.CacheEntries = entries
+			cfg.Seed = opts.Seed
+			u, err := sim.Run(tr, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Mechanism = sim.Interrupt
+			i, err := sim.Run(tr, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row,
+				fmt.Sprintf("%.1f", u.AvgLookupCost().Micros()),
+				fmt.Sprintf("%.1f", i.AvgLookupCost().Micros()))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl, nil
+}
+
+// Table7 compares one-page pinning against 16-page sequential
+// pre-pinning under a 16 MB pin quota, reporting amortized pin and
+// unpin cost per lookup — reproducing "Table 7: Amortized pinning and
+// unpinning for different page-pinning strategy."
+func Table7(opts Options) (*stats.Table, error) {
+	apps := []string{"barnes", "radix", "raytrace", "water-spatial", "fft", "lu"}
+	if len(opts.Apps) > 0 {
+		apps = opts.Apps
+	}
+	header := append([]string{"cost", "pages"}, apps...)
+	tbl := stats.NewTable(
+		"Table 7: amortized pin/unpin cost per lookup (us; 16 MB pin limit per process)",
+		header...)
+	cache := map[string]trace.Trace{}
+	limit := scaleLimit(4096, opts) // 16 MB of 4 KB pages per process
+
+	type rowKey struct {
+		label  string
+		prepin int
+		get    func(sim.Result) float64
+	}
+	rows := []rowKey{
+		{"pin", 1, func(r sim.Result) float64 { return r.AmortizedPinCost().Micros() }},
+		{"pin", 16, func(r sim.Result) float64 { return r.AmortizedPinCost().Micros() }},
+		{"unpin", 1, func(r sim.Result) float64 { return r.AmortizedUnpinCost().Micros() }},
+		{"unpin", 16, func(r sim.Result) float64 { return r.AmortizedUnpinCost().Micros() }},
+	}
+	// One run per (app, prepin) serves both pin and unpin rows.
+	results := map[string]map[int]sim.Result{}
+	for _, app := range apps {
+		tr, err := opts.traceFor(app, cache)
+		if err != nil {
+			return nil, err
+		}
+		results[app] = map[int]sim.Result{}
+		for _, prepin := range []int{1, 16} {
+			cfg := sim.DefaultConfig()
+			cfg.Seed = opts.Seed
+			cfg.PinLimitPages = limit
+			cfg.Prepin = prepin
+			if opts.scale() < 1 {
+				cfg.CacheEntries = scaledSizes(opts)[3]
+			}
+			res, err := sim.Run(tr, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("table7 %s prepin=%d: %w", app, prepin, err)
+			}
+			results[app][prepin] = res
+		}
+	}
+	for _, rk := range rows {
+		row := []string{rk.label, fmt.Sprintf("%d", rk.prepin)}
+		for _, app := range apps {
+			row = append(row, fmt.Sprintf("%.1f", rk.get(results[app][rk.prepin])))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl, nil
+}
+
+// Table8 sweeps cache size against associativity (direct-mapped with
+// offsetting, 2-way, 4-way, and direct-mapped without offsetting) and
+// reports overall Shared UTLB-Cache miss rates — reproducing "Table 8".
+func Table8(opts Options) (*stats.Table, error) {
+	type assoc struct {
+		label  string
+		ways   int
+		offset bool
+	}
+	assocs := []assoc{
+		{"direct", 1, true},
+		{"2-way", 2, true},
+		{"4-way", 4, true},
+		{"direct-nohash", 1, false},
+	}
+	apps := opts.apps()
+	header := append([]string{"cache", "associativity"}, apps...)
+	tbl := stats.NewTable(
+		"Table 8: overall miss rates in Shared UTLB-Cache (infinite host memory, no prefetch, index offsetting except direct-nohash)",
+		header...)
+	cache := map[string][]trace.Trace{}
+
+	for _, entries := range scaledSizes(opts) {
+		for ai, a := range assocs {
+			label := ""
+			if ai == 0 {
+				label = sizeLabel(entries)
+			}
+			row := []string{label, a.label}
+			for _, app := range apps {
+				avg, err := opts.avgOver(app, cache, func(tr trace.Trace) ([]float64, error) {
+					cfg := sim.DefaultConfig()
+					cfg.CacheEntries = entries
+					cfg.Ways = a.ways
+					cfg.IndexOffset = a.offset
+					cfg.Seed = opts.Seed
+					res, err := sim.Run(tr, cfg)
+					if err != nil {
+						return nil, fmt.Errorf("table8 %s %s %d: %w", app, a.label, entries, err)
+					}
+					return []float64{res.NIMissRatio()}, nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.2f", avg[0]))
+			}
+			tbl.AddRow(row...)
+		}
+	}
+	return tbl, nil
+}
+
+// AblationPolicies sweeps the five user-level replacement policies of
+// §3.4 under memory pressure — the study the paper leaves as future
+// work ("we only used LRU policy in this study").
+func AblationPolicies(opts Options) (*stats.Table, error) {
+	tbl := stats.NewTable(
+		"Ablation: replacement policies under a 4 MB pin quota (unpins per lookup / avg lookup cost us)",
+		append([]string{"policy"}, opts.apps()...)...)
+	cache := map[string]trace.Trace{}
+	limit := scaleLimit(1024, opts)
+	for _, pol := range []core.PolicyKind{core.LRU, core.MRU, core.LFU, core.MFU, core.Random} {
+		row := []string{pol.String()}
+		for _, app := range opts.apps() {
+			tr, err := opts.traceFor(app, cache)
+			if err != nil {
+				return nil, err
+			}
+			cfg := sim.DefaultConfig()
+			cfg.Policy = pol
+			cfg.Seed = opts.Seed
+			cfg.PinLimitPages = limit
+			if opts.scale() < 1 {
+				cfg.CacheEntries = scaledSizes(opts)[3]
+			}
+			res, err := sim.Run(tr, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("policies %s %s: %w", pol, app, err)
+			}
+			row = append(row, fmt.Sprintf("%.2f/%.1f",
+				res.UnpinRate(), res.AvgLookupCost().Micros()))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,77 @@
+package fabric
+
+import "utlb/internal/units"
+
+// Myrinet is a switched source-routed network: each node pair has
+// multiple possible paths through the switches. VMMC-2's reliability
+// layer includes "a dynamic node remapping procedure to deal with link
+// and port failures" (§4.1): when a route dies, the mapper computes a
+// new one and communication resumes. We model two candidate routes per
+// ordered node pair; faults are injected per route, and Remap switches
+// a pair to its surviving route.
+
+// RoutesPerPair is the number of candidate switch routes per pair.
+const RoutesPerPair = 2
+
+type linkKey struct {
+	src, dst units.NodeID
+}
+
+type routeState struct {
+	current int
+	failed  [RoutesPerPair]bool
+}
+
+func (n *Network) routes(src, dst units.NodeID) *routeState {
+	if n.routing == nil {
+		n.routing = make(map[linkKey]*routeState)
+	}
+	k := linkKey{src, dst}
+	rs, ok := n.routing[k]
+	if !ok {
+		rs = &routeState{}
+		n.routing[k] = rs
+	}
+	return rs
+}
+
+// FailRoute marks one of the routes between src and dst broken.
+// Packets on that route vanish until RepairRoute.
+func (n *Network) FailRoute(src, dst units.NodeID, route int) {
+	if route < 0 || route >= RoutesPerPair {
+		return
+	}
+	n.routes(src, dst).failed[route] = true
+}
+
+// RepairRoute restores a previously failed route.
+func (n *Network) RepairRoute(src, dst units.NodeID, route int) {
+	if route < 0 || route >= RoutesPerPair {
+		return
+	}
+	n.routes(src, dst).failed[route] = false
+}
+
+// CurrentRoute reports which route src→dst traffic uses.
+func (n *Network) CurrentRoute(src, dst units.NodeID) int {
+	return n.routes(src, dst).current
+}
+
+// RouteDead reports whether the pair's current route is failed.
+func (n *Network) RouteDead(src, dst units.NodeID) bool {
+	rs := n.routes(src, dst)
+	return rs.failed[rs.current]
+}
+
+// Remap switches src→dst to a surviving route, reporting success. It
+// is the mapper's recomputation; the caller charges its time.
+func (n *Network) Remap(src, dst units.NodeID) bool {
+	rs := n.routes(src, dst)
+	for r := 0; r < RoutesPerPair; r++ {
+		if !rs.failed[r] {
+			rs.current = r
+			return true
+		}
+	}
+	return false
+}

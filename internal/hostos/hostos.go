@@ -1,0 +1,271 @@
+// Package hostos simulates the host side of one cluster node: processes
+// with virtual address spaces, the system-call and interrupt machinery,
+// and the kernel page-pinning facility the UTLB device driver uses.
+//
+// The paper's measurements were taken on 300 MHz Pentium-II PCs running
+// Windows NT 4.0 (with an equivalent Linux port). We reproduce those
+// machines as a cost model: every primitive the UTLB host path executes
+// (bitmap word probes, ioctl entry, per-page pin work, interrupt
+// dispatch) charges calibrated time to the host clock, so composite
+// costs land near the paper's Table 1 and Section 6.2 numbers.
+package hostos
+
+import (
+	"fmt"
+
+	"utlb/internal/phys"
+	"utlb/internal/units"
+)
+
+// Costs is the host-side cost model. All values are simulated durations
+// of single primitives; composite operations are built from them.
+type Costs struct {
+	// SyscallEntry is the user→kernel protection-domain crossing paid
+	// once per ioctl (pin or unpin request).
+	SyscallEntry units.Time
+	// PinBase is the fixed kernel cost of a pin ioctl before per-page
+	// work (argument validation, table lookup, lock acquisition).
+	PinBase units.Time
+	// PinPerPage is the incremental kernel cost of pinning each page.
+	PinPerPage units.Time
+	// UnpinBase and UnpinPerPage mirror PinBase/PinPerPage for unpin.
+	UnpinBase    units.Time
+	UnpinPerPage units.Time
+	// UserCallOverhead is the fixed cost of entering the user-level
+	// UTLB library lookup procedure.
+	UserCallOverhead units.Time
+	// BitWordProbe is the cost of fetching and testing one word of the
+	// user-level pin-status bit vector.
+	BitWordProbe units.Time
+	// BitTest is the cost of testing a single bit on the slow path.
+	BitTest units.Time
+	// BitMisalign is the extra slow-path cost paid when the checked
+	// range does not start on a bitmap word boundary.
+	BitMisalign units.Time
+	// InterruptDispatch is the cost for the NIC to interrupt the host
+	// and enter the kernel handler (the paper measures 10 µs).
+	InterruptDispatch units.Time
+	// ContextSwitch approximates the scheduler cost around an
+	// interrupt-time pin when a process must be switched in.
+	ContextSwitch units.Time
+}
+
+// DefaultCosts returns the cost model calibrated against the paper's
+// measurements on the Pentium-II/NT cluster:
+//
+//	pin(1 page) ≈ 27 µs, pin(32) ≈ 115 µs   (Table 1)
+//	unpin(1) ≈ 25 µs, unpin(32) ≈ 139 µs    (Table 1)
+//	check min ≈ 0.2 µs, max ≈ 0.4–0.7 µs    (Table 1)
+//	user-level check ≈ 0.5 µs typical        (§6.2)
+//	interrupt dispatch ≈ 10 µs               (§6.2)
+func DefaultCosts() Costs {
+	return Costs{
+		SyscallEntry:      units.FromMicros(2.0),
+		PinBase:           units.FromMicros(22.2),
+		PinPerPage:        units.FromMicros(2.84),
+		UnpinBase:         units.FromMicros(19.3),
+		UnpinPerPage:      units.FromMicros(3.70),
+		UserCallOverhead:  units.FromMicros(0.15),
+		BitWordProbe:      units.FromMicros(0.05),
+		BitTest:           units.FromMicros(0.0085),
+		BitMisalign:       units.FromMicros(0.18),
+		InterruptDispatch: units.FromMicros(10.0),
+		ContextSwitch:     units.FromMicros(5.0),
+	}
+}
+
+// PinCost reports the full cost of one pin ioctl covering pages pages,
+// including the protection-domain crossing. Pinning a buffer all at once
+// is significantly cheaper per page than one page at a time, which is
+// what makes the paper's sequential pre-pinning policy (§6.5) pay off.
+func (c Costs) PinCost(pages int) units.Time {
+	if pages <= 0 {
+		return 0
+	}
+	return c.SyscallEntry + c.PinBase + units.Time(pages)*c.PinPerPage
+}
+
+// UnpinCost reports the full cost of one unpin ioctl covering pages pages.
+func (c Costs) UnpinCost(pages int) units.Time {
+	if pages <= 0 {
+		return 0
+	}
+	return c.SyscallEntry + c.UnpinBase + units.Time(pages)*c.UnpinPerPage
+}
+
+// KernelPinCost is PinCost without the protection-domain crossing: the
+// cost when the kernel is already entered, as in the interrupt-based
+// baseline where pinning happens inside the interrupt handler. The paper
+// notes "once in the interrupt handler, pin or unpin requires no
+// protection domain crossing".
+func (c Costs) KernelPinCost(pages int) units.Time {
+	if pages <= 0 {
+		return 0
+	}
+	return c.PinBase + units.Time(pages)*c.PinPerPage
+}
+
+// KernelUnpinCost mirrors KernelPinCost for unpin.
+func (c Costs) KernelUnpinCost(pages int) units.Time {
+	if pages <= 0 {
+		return 0
+	}
+	return c.UnpinBase + units.Time(pages)*c.UnpinPerPage
+}
+
+// Process is one user process on a host.
+type Process struct {
+	pid   units.ProcID
+	name  string
+	space Space
+}
+
+// Space is the part of vm.Space the host needs. Declared as an
+// interface so tests can substitute failure-injecting spaces.
+type Space interface {
+	PID() units.ProcID
+	Pin(units.VPN) (units.PFN, error)
+	Unpin(units.VPN) error
+	Translate(units.VPN) (units.PFN, error)
+	Touch(units.VPN) (units.PFN, error)
+	PinnedPages() int
+	Pinned(units.VPN) bool
+}
+
+// PID reports the process identifier.
+func (p *Process) PID() units.ProcID { return p.pid }
+
+// Name reports the process' display name.
+func (p *Process) Name() string { return p.name }
+
+// Space returns the process' address space.
+func (p *Process) Space() Space { return p.space }
+
+// Host is one cluster node's host side: CPU clock, physical memory,
+// processes, and the kernel services the UTLB driver needs.
+type Host struct {
+	id    units.NodeID
+	clock *units.Clock
+	mem   *phys.Memory
+	costs Costs
+	procs map[units.ProcID]*Process
+
+	// interrupts counts device interrupts delivered to this host.
+	interrupts int64
+	// current is the process the CPU runs; switches counts charged
+	// context switches (reclaim.go).
+	current  units.ProcID
+	switches int64
+}
+
+// New returns a host with the given node id, memory size in bytes, and
+// cost model.
+func New(id units.NodeID, memBytes int64, costs Costs) *Host {
+	return &Host{
+		id:    id,
+		clock: units.NewClock(),
+		mem:   phys.NewMemory(memBytes),
+		costs: costs,
+		procs: make(map[units.ProcID]*Process),
+	}
+}
+
+// ID reports the node identifier.
+func (h *Host) ID() units.NodeID { return h.id }
+
+// Clock returns the host CPU clock.
+func (h *Host) Clock() *units.Clock { return h.clock }
+
+// Memory returns the host physical memory.
+func (h *Host) Memory() *phys.Memory { return h.mem }
+
+// Costs returns the host cost model.
+func (h *Host) Costs() Costs { return h.costs }
+
+// Spawn creates a process with the given pid and name, backed by space
+// (which carries its own pinned-page quota), and registers it.
+func (h *Host) Spawn(pid units.ProcID, name string, space Space) (*Process, error) {
+	if _, ok := h.procs[pid]; ok {
+		return nil, fmt.Errorf("hostos: pid %d already exists on node %d", pid, h.id)
+	}
+	p := &Process{pid: pid, name: name, space: space}
+	h.procs[pid] = p
+	return p, nil
+}
+
+// Process returns the process with the given pid, or nil.
+func (h *Host) Process(pid units.ProcID) *Process { return h.procs[pid] }
+
+// Processes reports how many processes are registered.
+func (h *Host) Processes() int { return len(h.procs) }
+
+// PinPages is the kernel pin facility invoked through the UTLB ioctl:
+// it charges the syscall plus per-page cost, pins every page in vpns,
+// and returns the physical frames. On a quota failure it unpins the
+// pages it already pinned and reports the error; time for the attempted
+// work is still charged, as it would be on a real machine.
+func (h *Host) PinPages(p *Process, vpns []units.VPN) ([]units.PFN, error) {
+	h.clock.Advance(h.costs.PinCost(len(vpns)))
+	return h.pinLocked(p, vpns)
+}
+
+// PinPagesInKernel is PinPages without the protection-domain crossing,
+// used by the interrupt-based baseline inside its interrupt handler.
+func (h *Host) PinPagesInKernel(p *Process, vpns []units.VPN) ([]units.PFN, error) {
+	h.clock.Advance(h.costs.KernelPinCost(len(vpns)))
+	return h.pinLocked(p, vpns)
+}
+
+func (h *Host) pinLocked(p *Process, vpns []units.VPN) ([]units.PFN, error) {
+	pfns := make([]units.PFN, 0, len(vpns))
+	for i, vpn := range vpns {
+		pfn, err := p.space.Pin(vpn)
+		if err != nil {
+			for _, done := range vpns[:i] {
+				// Unpin cannot fail here: we just pinned these pages.
+				if uerr := p.space.Unpin(done); uerr != nil {
+					panic(fmt.Sprintf("hostos: rollback unpin failed: %v", uerr))
+				}
+			}
+			return nil, fmt.Errorf("hostos: pin page %#x for pid %d: %w", vpn, p.pid, err)
+		}
+		pfns = append(pfns, pfn)
+	}
+	return pfns, nil
+}
+
+// UnpinPages is the kernel unpin facility: charges the ioctl cost and
+// unpins every page. Unpinning a page that is not pinned is a caller
+// bug and returns an error after charging time.
+func (h *Host) UnpinPages(p *Process, vpns []units.VPN) error {
+	h.clock.Advance(h.costs.UnpinCost(len(vpns)))
+	return h.unpinLocked(p, vpns)
+}
+
+// UnpinPagesInKernel is UnpinPages without the domain crossing.
+func (h *Host) UnpinPagesInKernel(p *Process, vpns []units.VPN) error {
+	h.clock.Advance(h.costs.KernelUnpinCost(len(vpns)))
+	return h.unpinLocked(p, vpns)
+}
+
+func (h *Host) unpinLocked(p *Process, vpns []units.VPN) error {
+	for _, vpn := range vpns {
+		if err := p.space.Unpin(vpn); err != nil {
+			return fmt.Errorf("hostos: unpin page %#x for pid %d: %w", vpn, p.pid, err)
+		}
+	}
+	return nil
+}
+
+// Interrupt delivers a device interrupt to the host: it charges the
+// dispatch cost, runs the handler in kernel context, and returns the
+// handler's error. The interrupt-based translation baseline lives on
+// this path; UTLB's whole point is to keep off it.
+func (h *Host) Interrupt(handler func() error) error {
+	h.interrupts++
+	h.clock.Advance(h.costs.InterruptDispatch)
+	return handler()
+}
+
+// InterruptCount reports how many interrupts this host has taken.
+func (h *Host) InterruptCount() int64 { return h.interrupts }

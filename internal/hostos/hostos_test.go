@@ -1,0 +1,152 @@
+package hostos
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"utlb/internal/units"
+	"utlb/internal/vm"
+)
+
+func newHost(t *testing.T) *Host {
+	t.Helper()
+	return New(0, 16*units.MB, DefaultCosts())
+}
+
+func spawn(t *testing.T, h *Host, pid units.ProcID, pinLimit int) *Process {
+	t.Helper()
+	p, err := h.Spawn(pid, "test", vm.NewSpace(pid, h.Memory(), pinLimit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// Table 1 calibration: composite pin/unpin costs must land near the
+// paper's measurements (within 15%).
+func TestPinUnpinCostCalibration(t *testing.T) {
+	c := DefaultCosts()
+	paperPin := map[int]float64{1: 27, 2: 30, 4: 36, 8: 47, 16: 70, 32: 115}
+	paperUnpin := map[int]float64{1: 25, 2: 30, 4: 36, 8: 50, 16: 80, 32: 139}
+	within := func(got, want float64) bool {
+		return math.Abs(got-want)/want < 0.15
+	}
+	for n, want := range paperPin {
+		if got := c.PinCost(n).Micros(); !within(got, want) {
+			t.Errorf("PinCost(%d) = %.1fus, paper %.0fus", n, got, want)
+		}
+	}
+	for n, want := range paperUnpin {
+		if got := c.UnpinCost(n).Micros(); !within(got, want) {
+			t.Errorf("UnpinCost(%d) = %.1fus, paper %.0fus", n, got, want)
+		}
+	}
+}
+
+func TestZeroPageCosts(t *testing.T) {
+	c := DefaultCosts()
+	if c.PinCost(0) != 0 || c.UnpinCost(0) != 0 || c.KernelPinCost(-1) != 0 || c.KernelUnpinCost(0) != 0 {
+		t.Error("zero/negative page counts should cost nothing")
+	}
+}
+
+func TestKernelCostsSkipDomainCrossing(t *testing.T) {
+	c := DefaultCosts()
+	if c.KernelPinCost(4) != c.PinCost(4)-c.SyscallEntry {
+		t.Error("KernelPinCost should omit exactly the syscall entry")
+	}
+	if c.KernelUnpinCost(4) != c.UnpinCost(4)-c.SyscallEntry {
+		t.Error("KernelUnpinCost should omit exactly the syscall entry")
+	}
+}
+
+func TestSpawnDuplicatePID(t *testing.T) {
+	h := newHost(t)
+	spawn(t, h, 1, 0)
+	if _, err := h.Spawn(1, "dup", vm.NewSpace(1, h.Memory(), 0)); err == nil {
+		t.Error("duplicate pid accepted")
+	}
+	if h.Processes() != 1 {
+		t.Errorf("Processes = %d", h.Processes())
+	}
+	if h.Process(1) == nil || h.Process(2) != nil {
+		t.Error("Process lookup wrong")
+	}
+}
+
+func TestPinPagesChargesTimeAndPins(t *testing.T) {
+	h := newHost(t)
+	p := spawn(t, h, 1, 0)
+	before := h.Clock().Now()
+	pfns, err := h.PinPages(p, []units.VPN{10, 11, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pfns) != 3 {
+		t.Fatalf("pfns = %v", pfns)
+	}
+	charged := h.Clock().Now() - before
+	if charged != h.Costs().PinCost(3) {
+		t.Errorf("charged %v, want %v", charged, h.Costs().PinCost(3))
+	}
+	for _, vpn := range []units.VPN{10, 11, 12} {
+		if !p.Space().Pinned(vpn) {
+			t.Errorf("page %#x not pinned", vpn)
+		}
+	}
+}
+
+func TestPinPagesRollbackOnQuota(t *testing.T) {
+	h := newHost(t)
+	p := spawn(t, h, 1, 2)
+	_, err := h.PinPages(p, []units.VPN{1, 2, 3})
+	if !errors.Is(err, vm.ErrPinLimit) {
+		t.Fatalf("err = %v, want ErrPinLimit", err)
+	}
+	if p.Space().PinnedPages() != 0 {
+		t.Errorf("partial pins not rolled back: %d", p.Space().PinnedPages())
+	}
+}
+
+func TestUnpinPages(t *testing.T) {
+	h := newHost(t)
+	p := spawn(t, h, 1, 0)
+	h.PinPages(p, []units.VPN{5, 6})
+	before := h.Clock().Now()
+	if err := h.UnpinPages(p, []units.VPN{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Clock().Now() - before; got != h.Costs().UnpinCost(2) {
+		t.Errorf("charged %v, want %v", got, h.Costs().UnpinCost(2))
+	}
+	if err := h.UnpinPages(p, []units.VPN{5}); err == nil {
+		t.Error("unpinning unpinned page should error")
+	}
+}
+
+func TestInterrupt(t *testing.T) {
+	h := newHost(t)
+	before := h.Clock().Now()
+	called := false
+	err := h.Interrupt(func() error { called = true; return nil })
+	if err != nil || !called {
+		t.Fatalf("handler not run: %v", err)
+	}
+	if h.Clock().Now()-before != h.Costs().InterruptDispatch {
+		t.Error("interrupt dispatch cost not charged")
+	}
+	if h.InterruptCount() != 1 {
+		t.Errorf("InterruptCount = %d", h.InterruptCount())
+	}
+	wantErr := errors.New("boom")
+	if err := h.Interrupt(func() error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("handler error not propagated: %v", err)
+	}
+}
+
+func TestInterruptDispatchMatchesPaper(t *testing.T) {
+	if got := DefaultCosts().InterruptDispatch.Micros(); got != 10.0 {
+		t.Errorf("InterruptDispatch = %v us, paper says 10 us", got)
+	}
+}

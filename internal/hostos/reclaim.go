@@ -1,0 +1,101 @@
+package hostos
+
+import (
+	"sort"
+
+	"utlb/internal/units"
+)
+
+// This file models the OS page reclaimer (the paging/swapping activity
+// of §1: "As an I/O device, the network interface has no control over
+// paging and swapping in the operating system. Therefore, the
+// application buffer must be explicitly pinned"). Reclaim takes frames
+// back from unpinned pages; pinned pages are untouchable — the
+// guarantee the UTLB's pin ioctl buys for in-flight DMA.
+
+// ReclaimSpace is the extra capability the reclaimer needs from an
+// address space beyond Space.
+type ReclaimSpace interface {
+	Space
+	// MappedVPNs lists the space's mapped pages.
+	MappedVPNs() []units.VPN
+	// Evict unmaps an unpinned page, freeing its frame.
+	Evict(units.VPN) error
+}
+
+// Reclaim frees up to want frames by evicting unpinned pages across
+// all processes (round-robin by PID for determinism). It reports how
+// many frames were actually reclaimed. Pinned pages are never touched.
+func (h *Host) Reclaim(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	// Deterministic order: ascending PID.
+	pids := make([]units.ProcID, 0, len(h.procs))
+	for pid := range h.procs {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+
+	reclaimed := 0
+	for _, pid := range pids {
+		if reclaimed >= want {
+			break
+		}
+		rs, ok := h.procs[pid].space.(ReclaimSpace)
+		if !ok {
+			continue
+		}
+		vpns := rs.MappedVPNs()
+		sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+		for _, vpn := range vpns {
+			if reclaimed >= want {
+				break
+			}
+			if rs.Pinned(vpn) {
+				continue
+			}
+			if err := rs.Evict(vpn); err == nil {
+				reclaimed++
+			}
+		}
+	}
+	h.clock.Advance(units.Time(reclaimed) * h.costs.PinPerPage) // per-frame reclaim work
+	return reclaimed
+}
+
+// MemoryPressure reports the fraction of physical frames in use.
+func (h *Host) MemoryPressure() float64 {
+	total := int(h.mem.NumFrames())
+	if total == 0 {
+		return 0
+	}
+	return float64(total-h.mem.FreeFrames()) / float64(total)
+}
+
+// Current process tracking. The trace-driven simulator deliberately
+// does NOT charge these switches: the paper's cost comparison factors
+// context switches out (§6.2), and interleaved-process scheduling
+// costs both mechanisms equally. The capability exists for users who
+// want scheduling realism in live-cluster studies.
+
+// SetCurrent records which process the CPU is running.
+func (h *Host) SetCurrent(pid units.ProcID) { h.current = pid }
+
+// Current reports the running process (0 = idle/kernel).
+func (h *Host) Current() units.ProcID { return h.current }
+
+// ChargeSwitchTo charges a context switch if pid is not current and
+// makes it current. It reports whether a switch was charged.
+func (h *Host) ChargeSwitchTo(pid units.ProcID) bool {
+	if h.current == pid {
+		return false
+	}
+	h.clock.Advance(h.costs.ContextSwitch)
+	h.current = pid
+	h.switches++
+	return true
+}
+
+// ContextSwitches reports how many switches have been charged.
+func (h *Host) ContextSwitches() int64 { return h.switches }

@@ -1,0 +1,113 @@
+package hostos
+
+import (
+	"testing"
+
+	"utlb/internal/units"
+	"utlb/internal/vm"
+)
+
+func TestReclaimSkipsPinnedPages(t *testing.T) {
+	h := New(0, 64*units.PageSize, DefaultCosts())
+	p := spawn(t, h, 1, 0)
+	sp := p.Space().(*vm.Space)
+
+	// Map 8 pages; pin 3 of them.
+	for vpn := units.VPN(0); vpn < 8; vpn++ {
+		if _, err := sp.Touch(vpn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.PinPages(p, []units.VPN{1, 3, 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	got := h.Reclaim(100) // ask for more than available
+	if got != 5 {
+		t.Errorf("Reclaim = %d, want 5 (8 mapped - 3 pinned)", got)
+	}
+	for _, vpn := range []units.VPN{1, 3, 5} {
+		if !sp.Pinned(vpn) {
+			t.Errorf("pinned page %d lost its frame", vpn)
+		}
+		if _, err := sp.Translate(vpn); err != nil {
+			t.Errorf("pinned page %d unmapped: %v", vpn, err)
+		}
+	}
+	for _, vpn := range []units.VPN{0, 2, 4, 6, 7} {
+		if _, err := sp.Translate(vpn); err == nil {
+			t.Errorf("unpinned page %d survived reclaim", vpn)
+		}
+	}
+}
+
+func TestReclaimPartialAndZero(t *testing.T) {
+	h := New(0, 64*units.PageSize, DefaultCosts())
+	p := spawn(t, h, 1, 0)
+	sp := p.Space().(*vm.Space)
+	for vpn := units.VPN(0); vpn < 6; vpn++ {
+		sp.Touch(vpn)
+	}
+	if got := h.Reclaim(2); got != 2 {
+		t.Errorf("Reclaim(2) = %d", got)
+	}
+	if sp.MappedPages() != 4 {
+		t.Errorf("mapped = %d, want 4", sp.MappedPages())
+	}
+	if h.Reclaim(0) != 0 || h.Reclaim(-3) != 0 {
+		t.Error("non-positive reclaim did work")
+	}
+}
+
+func TestReclaimAcrossProcesses(t *testing.T) {
+	h := New(0, 64*units.PageSize, DefaultCosts())
+	p1 := spawn(t, h, 1, 0)
+	p2 := spawn(t, h, 2, 0)
+	p1.Space().(*vm.Space).Touch(0)
+	p2.Space().(*vm.Space).Touch(0)
+	if got := h.Reclaim(10); got != 2 {
+		t.Errorf("Reclaim across procs = %d", got)
+	}
+}
+
+func TestMemoryPressure(t *testing.T) {
+	h := New(0, 10*units.PageSize, DefaultCosts())
+	if h.MemoryPressure() != 0 {
+		t.Errorf("fresh pressure = %v", h.MemoryPressure())
+	}
+	p := spawn(t, h, 1, 0)
+	for vpn := units.VPN(0); vpn < 5; vpn++ {
+		p.Space().(*vm.Space).Touch(vpn)
+	}
+	if got := h.MemoryPressure(); got != 0.5 {
+		t.Errorf("pressure = %v, want 0.5", got)
+	}
+}
+
+func TestContextSwitchAccounting(t *testing.T) {
+	h := newHost(t)
+	if h.Current() != 0 {
+		t.Error("fresh host has a current process")
+	}
+	before := h.Clock().Now()
+	if !h.ChargeSwitchTo(1) {
+		t.Error("first switch not charged")
+	}
+	if h.ChargeSwitchTo(1) {
+		t.Error("same-process switch charged")
+	}
+	if !h.ChargeSwitchTo(2) {
+		t.Error("cross-process switch not charged")
+	}
+	if h.ContextSwitches() != 2 {
+		t.Errorf("switches = %d", h.ContextSwitches())
+	}
+	want := 2 * h.Costs().ContextSwitch
+	if got := h.Clock().Now() - before; got != want {
+		t.Errorf("charged %v, want %v", got, want)
+	}
+	h.SetCurrent(9)
+	if h.Current() != 9 {
+		t.Error("SetCurrent")
+	}
+}

@@ -1,0 +1,195 @@
+// Package intrbase implements the interrupt-based address-translation
+// baseline the paper compares UTLB against (§6.2): the UNet-MM-style
+// design where the network interface interrupts the host processor on
+// every translation-cache miss, and the host — already in its
+// interrupt handler, so with no protection-domain crossing — pins the
+// page and installs the translation directly into the NIC cache.
+//
+// The defining behavioural differences from UTLB, both taken from the
+// paper:
+//
+//   - there is no user-level check and no host-resident translation
+//     table, so every miss costs an interrupt;
+//   - "the interrupt-based approach always unpins a page that is
+//     evicted from the network interface translation cache", so the
+//     pinned set equals the cached set and evictions churn pins.
+package intrbase
+
+import (
+	"errors"
+	"fmt"
+
+	"utlb/internal/core"
+	"utlb/internal/hostos"
+	"utlb/internal/nicsim"
+	"utlb/internal/tlbcache"
+	"utlb/internal/units"
+	"utlb/internal/vm"
+)
+
+// ErrNoVictim mirrors core.ErrNoVictim for the baseline's forced
+// unpinning path.
+var ErrNoVictim = errors.New("intrbase: no evictable page")
+
+// Stats are the baseline's cumulative counters (Table 4's Intr rows).
+type Stats struct {
+	Lookups       int64
+	Misses        int64 // NI translation-cache misses == interrupts
+	PagesPinned   int64
+	PagesUnpinned int64
+	// HandlerTime is total host time spent in the interrupt handler
+	// (dispatch + kernel pin/unpin work).
+	HandlerTime units.Time
+}
+
+type procState struct {
+	proc   *hostos.Process
+	policy core.Policy // mirrors the process' pinned == cached pages
+}
+
+// Mechanism is one node's interrupt-based translation machinery.
+type Mechanism struct {
+	host  *hostos.Host
+	nic   *nicsim.NIC
+	cache *tlbcache.Cache
+	procs map[units.ProcID]*procState
+
+	stats Stats
+}
+
+// New builds the baseline on host/nic with the given cache geometry
+// (kept identical to the UTLB configuration under comparison, as the
+// paper does: "we assume that the cache structures are the same for
+// both cases").
+func New(host *hostos.Host, nic *nicsim.NIC, cacheCfg tlbcache.Config) (*Mechanism, error) {
+	if err := cacheCfg.Validate(); err != nil {
+		return nil, err
+	}
+	cache := tlbcache.New(cacheCfg)
+	if err := nic.ReserveSRAM(cache.SRAMBytes()); err != nil {
+		return nil, fmt.Errorf("intrbase: reserving cache SRAM: %w", err)
+	}
+	return &Mechanism{
+		host:  host,
+		nic:   nic,
+		cache: cache,
+		procs: make(map[units.ProcID]*procState),
+	}, nil
+}
+
+// Register adds a process to the mechanism.
+func (m *Mechanism) Register(proc *hostos.Process) error {
+	pid := proc.PID()
+	if _, ok := m.procs[pid]; ok {
+		return fmt.Errorf("intrbase: pid %d already registered", pid)
+	}
+	m.procs[pid] = &procState{proc: proc, policy: core.NewPolicy(core.LRU, int64(pid))}
+	return nil
+}
+
+// Stats returns the cumulative counters.
+func (m *Mechanism) Stats() Stats { return m.stats }
+
+// Cache returns the NIC translation cache.
+func (m *Mechanism) Cache() *tlbcache.Cache { return m.cache }
+
+// Translate resolves (pid, vpn), interrupting the host on a miss. The
+// NIC lookup cost is charged to the NIC clock; the interrupt and all
+// pin/unpin work are charged to the host clock.
+func (m *Mechanism) Translate(pid units.ProcID, vpn units.VPN) (units.PFN, error) {
+	st, ok := m.procs[pid]
+	if !ok {
+		return units.NoPFN, fmt.Errorf("intrbase: pid %d not registered", pid)
+	}
+	m.stats.Lookups++
+
+	m.nic.ChargeLookupBase()
+	key := tlbcache.Key{PID: pid, VPN: vpn}
+	res := m.cache.Lookup(key)
+	m.nic.ChargeProbes(res.Probes)
+	if res.Hit {
+		st.policy.Touch(vpn)
+		return res.PFN, nil
+	}
+	m.stats.Misses++
+
+	// Miss: interrupt the host; the handler pins and installs.
+	var pfn units.PFN
+	t0 := m.host.Clock().Now()
+	err := m.host.Interrupt(func() error {
+		var herr error
+		pfn, herr = m.handleMiss(st, key)
+		return herr
+	})
+	m.stats.HandlerTime += m.host.Clock().Now() - t0
+	if err != nil {
+		return units.NoPFN, err
+	}
+	return pfn, nil
+}
+
+// handleMiss runs in host kernel context: pin the page (evicting under
+// quota pressure), install the translation, and unpin whatever the
+// installation displaced.
+func (m *Mechanism) handleMiss(st *procState, key tlbcache.Key) (units.PFN, error) {
+	var pfn units.PFN
+	for {
+		pfns, err := m.host.PinPagesInKernel(st.proc, []units.VPN{key.VPN})
+		if err == nil {
+			pfn = pfns[0]
+			break
+		}
+		if !errors.Is(err, vm.ErrPinLimit) {
+			return units.NoPFN, err
+		}
+		// Quota full: unpin this process' LRU page.
+		victim, ok := st.policy.Victim()
+		if !ok {
+			return units.NoPFN, ErrNoVictim
+		}
+		if err := m.unpin(st, victim); err != nil {
+			return units.NoPFN, err
+		}
+	}
+	m.stats.PagesPinned++
+	st.policy.Insert(key.VPN)
+
+	evicted, was := m.cache.Insert(key, pfn)
+	if was {
+		// Eviction means immediate unpin — possibly of another
+		// process' page in this shared cache.
+		owner, ok := m.procs[evicted.PID]
+		if !ok {
+			return units.NoPFN, fmt.Errorf("intrbase: evicted entry for unknown pid %d", evicted.PID)
+		}
+		if err := m.unpin(owner, evicted.VPN); err != nil {
+			return units.NoPFN, err
+		}
+	}
+	return pfn, nil
+}
+
+func (m *Mechanism) unpin(st *procState, vpn units.VPN) error {
+	if err := m.host.UnpinPagesInKernel(st.proc, []units.VPN{vpn}); err != nil {
+		return err
+	}
+	m.stats.PagesUnpinned++
+	st.policy.Remove(vpn)
+	m.cache.Invalidate(tlbcache.Key{PID: st.proc.PID(), VPN: vpn})
+	return nil
+}
+
+// Lock and Unlock mark a page ineligible for forced unpinning while a
+// transfer is outstanding, mirroring the UTLB library's obligation.
+func (m *Mechanism) Lock(pid units.ProcID, vpn units.VPN) {
+	if st, ok := m.procs[pid]; ok {
+		st.policy.Lock(vpn)
+	}
+}
+
+// Unlock reverses Lock.
+func (m *Mechanism) Unlock(pid units.ProcID, vpn units.VPN) {
+	if st, ok := m.procs[pid]; ok {
+		st.policy.Unlock(vpn)
+	}
+}

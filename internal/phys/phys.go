@@ -1,0 +1,162 @@
+// Package phys simulates host physical memory: a frame allocator plus
+// byte-addressable storage. The network interface DMAs against this
+// memory, and the VMMC layer moves real bytes through it, so data
+// integrity can be checked end to end.
+//
+// Frames are allocated lazily: backing storage for a frame is only
+// materialised when it is first written, keeping large simulated
+// memories (hundreds of MB, as on the paper's SMP nodes) cheap.
+package phys
+
+import (
+	"fmt"
+
+	"utlb/internal/units"
+)
+
+// Memory is a bank of physical memory frames.
+type Memory struct {
+	numFrames units.PFN
+	free      []units.PFN // free list, LIFO
+	frames    map[units.PFN][]byte
+	allocated map[units.PFN]bool
+}
+
+// NewMemory returns a memory of size bytes, rounded down to whole frames.
+// It panics if size is smaller than one page: a machine without memory is
+// a configuration error, not a runtime condition.
+func NewMemory(size int64) *Memory {
+	n := units.PFN(size >> units.PageShift)
+	if n == 0 {
+		panic(fmt.Sprintf("phys: memory size %d smaller than one page", size))
+	}
+	m := &Memory{
+		numFrames: n,
+		frames:    make(map[units.PFN][]byte),
+		allocated: make(map[units.PFN]bool),
+	}
+	// Push frames in reverse so allocation hands out low frames first,
+	// which makes traces and tests easier to read.
+	m.free = make([]units.PFN, 0, n)
+	for f := units.PFN(n); f > 0; f-- {
+		m.free = append(m.free, f-1)
+	}
+	return m
+}
+
+// NumFrames reports the total number of frames.
+func (m *Memory) NumFrames() units.PFN { return m.numFrames }
+
+// FreeFrames reports how many frames are currently unallocated.
+func (m *Memory) FreeFrames() int { return len(m.free) }
+
+// Alloc allocates one frame. It fails when physical memory is exhausted.
+func (m *Memory) Alloc() (units.PFN, error) {
+	if len(m.free) == 0 {
+		return units.NoPFN, ErrOutOfMemory
+	}
+	f := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	m.allocated[f] = true
+	return f, nil
+}
+
+// Free returns a frame to the allocator and drops its contents.
+// Freeing an unallocated frame is a bug in the caller and panics.
+func (m *Memory) Free(f units.PFN) {
+	if !m.allocated[f] {
+		panic(fmt.Sprintf("phys: double free of frame %d", f))
+	}
+	delete(m.allocated, f)
+	delete(m.frames, f)
+	m.free = append(m.free, f)
+}
+
+// Allocated reports whether frame f is currently allocated.
+func (m *Memory) Allocated(f units.PFN) bool { return m.allocated[f] }
+
+// ErrOutOfMemory is returned by Alloc when no frames remain.
+var ErrOutOfMemory = fmt.Errorf("phys: out of physical memory")
+
+func (m *Memory) backing(f units.PFN) []byte {
+	if b, ok := m.frames[f]; ok {
+		return b
+	}
+	b := make([]byte, units.PageSize)
+	m.frames[f] = b
+	return b
+}
+
+func (m *Memory) checkRange(pa units.PAddr, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("phys: negative length %d", n))
+	}
+	end := pa + units.PAddr(n)
+	limit := units.PAddr(m.numFrames) << units.PageShift
+	if pa > limit || end > limit {
+		panic(fmt.Sprintf("phys: access [%#x,%#x) beyond memory end %#x", pa, end, limit))
+	}
+}
+
+// Write copies data into physical memory starting at pa. The range may
+// cross frame boundaries. Writing to an unallocated frame panics: only
+// the OS hands out frames, so such a write is a simulator bug.
+func (m *Memory) Write(pa units.PAddr, data []byte) {
+	m.checkRange(pa, len(data))
+	for len(data) > 0 {
+		f := pa.PageOf()
+		if !m.allocated[f] {
+			panic(fmt.Sprintf("phys: write to unallocated frame %d", f))
+		}
+		off := int(uint64(pa) & units.PageMask)
+		n := units.PageSize - off
+		if n > len(data) {
+			n = len(data)
+		}
+		copy(m.backing(f)[off:off+n], data[:n])
+		pa += units.PAddr(n)
+		data = data[n:]
+	}
+}
+
+// Read copies n bytes starting at pa into a fresh slice.
+func (m *Memory) Read(pa units.PAddr, n int) []byte {
+	m.checkRange(pa, n)
+	out := make([]byte, n)
+	dst := out
+	for len(dst) > 0 {
+		f := pa.PageOf()
+		if !m.allocated[f] {
+			panic(fmt.Sprintf("phys: read from unallocated frame %d", f))
+		}
+		off := int(uint64(pa) & units.PageMask)
+		c := units.PageSize - off
+		if c > len(dst) {
+			c = len(dst)
+		}
+		copy(dst[:c], m.backing(f)[off:off+c])
+		pa += units.PAddr(c)
+		dst = dst[c:]
+	}
+	return out
+}
+
+// WriteWord stores a 64-bit little-endian word at pa. Word accesses are
+// how the NIC reads translation-table entries out of host memory.
+func (m *Memory) WriteWord(pa units.PAddr, w uint64) {
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(w >> (8 * i))
+	}
+	m.Write(pa, buf[:])
+}
+
+// ReadWord loads a 64-bit little-endian word from pa.
+func (m *Memory) ReadWord(pa units.PAddr) uint64 {
+	b := m.Read(pa, 8)
+	var w uint64
+	for i := range b {
+		w |= uint64(b[i]) << (8 * i)
+	}
+	return w
+}

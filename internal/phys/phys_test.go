@@ -1,0 +1,157 @@
+package phys
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"utlb/internal/units"
+)
+
+func TestNewMemorySizing(t *testing.T) {
+	m := NewMemory(10*units.PageSize + 123)
+	if m.NumFrames() != 10 {
+		t.Errorf("NumFrames = %d, want 10", m.NumFrames())
+	}
+	if m.FreeFrames() != 10 {
+		t.Errorf("FreeFrames = %d, want 10", m.FreeFrames())
+	}
+}
+
+func TestNewMemoryTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for sub-page memory")
+		}
+	}()
+	NewMemory(100)
+}
+
+func TestAllocFree(t *testing.T) {
+	m := NewMemory(3 * units.PageSize)
+	seen := map[units.PFN]bool{}
+	for i := 0; i < 3; i++ {
+		f, err := m.Alloc()
+		if err != nil {
+			t.Fatalf("Alloc #%d: %v", i, err)
+		}
+		if seen[f] {
+			t.Fatalf("frame %d allocated twice", f)
+		}
+		seen[f] = true
+		if !m.Allocated(f) {
+			t.Errorf("Allocated(%d) = false after Alloc", f)
+		}
+	}
+	if _, err := m.Alloc(); err != ErrOutOfMemory {
+		t.Errorf("exhausted Alloc err = %v, want ErrOutOfMemory", err)
+	}
+	for f := range seen {
+		m.Free(f)
+	}
+	if m.FreeFrames() != 3 {
+		t.Errorf("FreeFrames after frees = %d", m.FreeFrames())
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	m := NewMemory(units.PageSize)
+	f, _ := m.Alloc()
+	m.Free(f)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on double free")
+		}
+	}()
+	m.Free(f)
+}
+
+func TestFreeDropsContents(t *testing.T) {
+	m := NewMemory(units.PageSize)
+	f, _ := m.Alloc()
+	m.Write(f.Addr(), []byte{1, 2, 3})
+	m.Free(f)
+	f2, _ := m.Alloc()
+	if f2 != f {
+		t.Fatalf("expected frame reuse, got %d vs %d", f2, f)
+	}
+	if got := m.Read(f2.Addr(), 3); !bytes.Equal(got, []byte{0, 0, 0}) {
+		t.Errorf("reused frame not zeroed: %v", got)
+	}
+}
+
+func TestReadWriteCrossFrame(t *testing.T) {
+	m := NewMemory(4 * units.PageSize)
+	// Allocate all frames so any address is writable.
+	for i := 0; i < 4; i++ {
+		if _, err := m.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := make([]byte, 2*units.PageSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	start := units.PAddr(units.PageSize - 100)
+	m.Write(start, data)
+	got := m.Read(start, len(data))
+	if !bytes.Equal(got, data) {
+		t.Error("cross-frame round trip mismatch")
+	}
+}
+
+func TestWriteUnallocatedPanics(t *testing.T) {
+	m := NewMemory(2 * units.PageSize)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic writing unallocated frame")
+		}
+	}()
+	m.Write(0, []byte{1})
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := NewMemory(units.PageSize)
+	m.Alloc()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic past end of memory")
+		}
+	}()
+	m.Read(units.PageSize-1, 2)
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	m := NewMemory(2 * units.PageSize)
+	m.Alloc()
+	m.Alloc()
+	const w = uint64(0xdeadbeefcafef00d)
+	m.WriteWord(units.PageSize-4, w) // crosses a frame boundary
+	if got := m.ReadWord(units.PageSize - 4); got != w {
+		t.Errorf("word round trip = %#x, want %#x", got, w)
+	}
+}
+
+func TestWordRoundTripProperty(t *testing.T) {
+	m := NewMemory(4 * units.PageSize)
+	for i := 0; i < 4; i++ {
+		m.Alloc()
+	}
+	f := func(w uint64, offRaw uint16) bool {
+		off := units.PAddr(offRaw) % (4*units.PageSize - 8)
+		m.WriteWord(off, w)
+		return m.ReadWord(off) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocHandsOutLowFramesFirst(t *testing.T) {
+	m := NewMemory(3 * units.PageSize)
+	f0, _ := m.Alloc()
+	f1, _ := m.Alloc()
+	if f0 != 0 || f1 != 1 {
+		t.Errorf("first allocations = %d,%d, want 0,1", f0, f1)
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"utlb/internal/tlbcache"
+	"utlb/internal/units"
+)
+
+// classifier assigns each NIC translation-cache miss to one of Hill's
+// three categories (§3.2 cites [23]):
+//
+//	compulsory — first reference to the (process, page) pair;
+//	capacity   — also misses in a fully-associative LRU cache of the
+//	             same total size;
+//	conflict   — everything else (would have hit fully-associative).
+//
+// The shadow fully-associative cache is updated on every reference,
+// hit or miss, so its LRU state tracks the reference stream exactly.
+type classifier struct {
+	capacity int
+	seen     map[tlbcache.Key]bool
+	// Fully-associative LRU shadow: map + intrusive list.
+	nodes map[tlbcache.Key]*lruNode
+	head  *lruNode // most recent
+	tail  *lruNode // least recent
+	size  int
+}
+
+type lruNode struct {
+	key        tlbcache.Key
+	prev, next *lruNode
+}
+
+func newClassifier(capacity int) *classifier {
+	return &classifier{
+		capacity: capacity,
+		seen:     make(map[tlbcache.Key]bool),
+		nodes:    make(map[tlbcache.Key]*lruNode),
+	}
+}
+
+// classify records a reference to (pid, vpn) and, when miss is true,
+// attributes it in res.
+func (c *classifier) classify(res *Result, pid units.ProcID, vpn units.VPN, miss bool) {
+	key := tlbcache.Key{PID: pid, VPN: vpn}
+	first := !c.seen[key]
+	shadowHit := c.touch(key)
+	if !miss {
+		return
+	}
+	switch {
+	case first:
+		res.Compulsory++
+	case !shadowHit:
+		res.Capacity++
+	default:
+		res.Conflict++
+	}
+}
+
+// touch references key in the shadow cache, reporting whether it hit,
+// and marks the key seen.
+func (c *classifier) touch(key tlbcache.Key) bool {
+	c.seen[key] = true
+	if n, ok := c.nodes[key]; ok {
+		c.moveToFront(n)
+		return true
+	}
+	n := &lruNode{key: key}
+	c.nodes[key] = n
+	c.pushFront(n)
+	c.size++
+	if c.size > c.capacity {
+		evict := c.tail
+		c.remove(evict)
+		delete(c.nodes, evict.key)
+		c.size--
+	}
+	return false
+}
+
+func (c *classifier) pushFront(n *lruNode) {
+	n.next = c.head
+	n.prev = nil
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *classifier) remove(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *classifier) moveToFront(n *lruNode) {
+	if c.head == n {
+		return
+	}
+	c.remove(n)
+	c.pushFront(n)
+}

@@ -1,0 +1,283 @@
+// Package sim is the trace-driven simulator of §6: it feeds serialised
+// communication traces to either the UTLB mechanism or the
+// interrupt-based baseline, mimicking "the behavior of a network
+// interface translation cache, the host-side UTLB driver, and
+// user-level library", and derives the statistics behind Tables 4-8
+// and Figures 7-8: translation misses (classified into compulsory,
+// capacity and conflict), page pinnings and unpinnings, and average
+// lookup costs.
+package sim
+
+import (
+	"fmt"
+
+	"utlb/internal/bus"
+	"utlb/internal/core"
+	"utlb/internal/hostos"
+	"utlb/internal/intrbase"
+	"utlb/internal/nicsim"
+	"utlb/internal/tlbcache"
+	"utlb/internal/trace"
+	"utlb/internal/units"
+	"utlb/internal/vm"
+)
+
+// Mechanism selects the translation design under test.
+type Mechanism int
+
+// The two mechanisms of §6.2.
+const (
+	// UTLB is the Hierarchical-UTLB with a Shared UTLB-Cache.
+	UTLB Mechanism = iota
+	// Interrupt is the interrupt-per-miss baseline.
+	Interrupt
+)
+
+func (m Mechanism) String() string {
+	if m == UTLB {
+		return "UTLB"
+	}
+	return "Intr"
+}
+
+// Config parameterises one simulation run.
+type Config struct {
+	// Mechanism selects UTLB or the interrupt baseline.
+	Mechanism Mechanism
+	// CacheEntries and Ways shape the NIC translation cache.
+	CacheEntries int
+	Ways         int
+	// IndexOffset enables process-dependent index offsetting.
+	IndexOffset bool
+	// Prefetch is the UTLB miss prefetch width (1 = none).
+	Prefetch int
+	// Prepin is the UTLB sequential pre-pinning width (1 = none).
+	Prepin int
+	// Policy is the user-level replacement policy (UTLB only; the
+	// baseline always uses LRU, as in the paper).
+	Policy core.PolicyKind
+	// PinLimitPages caps each process' pinned pages; 0 = the paper's
+	// "infinite host memory".
+	PinLimitPages int
+	// Seed drives any randomised policy.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's baseline configuration: an 8 K
+// entry direct-mapped cache with index offsetting, no prefetch, no
+// pre-pinning, LRU, infinite memory.
+func DefaultConfig() Config {
+	return Config{
+		Mechanism:    UTLB,
+		CacheEntries: 8192,
+		Ways:         1,
+		IndexOffset:  true,
+		Prefetch:     1,
+		Prepin:       1,
+		Policy:       core.LRU,
+	}
+}
+
+// Result carries the measured statistics of one run.
+type Result struct {
+	Config  Config
+	Lookups int64
+	// CheckMisses counts user-level check misses (UTLB only).
+	CheckMisses int64
+	// NIMisses counts NIC translation-cache misses.
+	NIMisses int64
+	// NIRefs counts NIC translations (≥ Lookups for multi-page ops).
+	NIRefs int64
+	// Pins and Unpins count page pinning/unpinning operations.
+	Pins   int64
+	Unpins int64
+	// Compulsory/Capacity/Conflict classify NIMisses (Hill's 3C:
+	// capacity = would also miss in a fully-associative LRU cache of
+	// equal size; conflict = the rest).
+	Compulsory int64
+	Capacity   int64
+	Conflict   int64
+	// HostTime and NICTime are total simulated time on each processor.
+	HostTime units.Time
+	NICTime  units.Time
+	// PinTime/UnpinTime/CheckTime break down the host side (UTLB).
+	PinTime   units.Time
+	UnpinTime units.Time
+	CheckTime units.Time
+}
+
+// Per-lookup rates, as the paper reports them.
+
+// CheckMissRate is check misses per lookup.
+func (r Result) CheckMissRate() float64 { return rate(r.CheckMisses, r.Lookups) }
+
+// NIMissRate is NI misses per lookup (Tables 4-5).
+func (r Result) NIMissRate() float64 { return rate(r.NIMisses, r.Lookups) }
+
+// NIMissRatio is NI misses per NI reference (Table 8's "overall miss
+// rates" and Figure 7/8's miss rates).
+func (r Result) NIMissRatio() float64 { return rate(r.NIMisses, r.NIRefs) }
+
+// UnpinRate is unpinned pages per lookup.
+func (r Result) UnpinRate() float64 { return rate(r.Unpins, r.Lookups) }
+
+// AvgLookupCost is the measured end-to-end translation cost per
+// lookup: all host time plus all NIC time divided by lookups — the
+// quantity Table 6 compares.
+func (r Result) AvgLookupCost() units.Time {
+	if r.Lookups == 0 {
+		return 0
+	}
+	return (r.HostTime + r.NICTime) / units.Time(r.Lookups)
+}
+
+// AvgNICLookupCost is NIC time per NIC reference (Figure 8 right).
+func (r Result) AvgNICLookupCost() units.Time {
+	if r.NIRefs == 0 {
+		return 0
+	}
+	return r.NICTime / units.Time(r.NIRefs)
+}
+
+// AmortizedPinCost and AmortizedUnpinCost are host pin/unpin time per
+// lookup (Table 7).
+func (r Result) AmortizedPinCost() units.Time {
+	if r.Lookups == 0 {
+		return 0
+	}
+	return r.PinTime / units.Time(r.Lookups)
+}
+
+// AmortizedUnpinCost is unpin time per lookup.
+func (r Result) AmortizedUnpinCost() units.Time {
+	if r.Lookups == 0 {
+		return 0
+	}
+	return r.UnpinTime / units.Time(r.Lookups)
+}
+
+func rate(n, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total)
+}
+
+// Run drives tr through the configured mechanism and returns the
+// measured statistics. The trace is processed in timestamp order; all
+// processes run on one simulated node (the paper reports per-node
+// averages, and nodes are homogeneous).
+func Run(tr trace.Trace, cfg Config) (Result, error) {
+	if cfg.CacheEntries == 0 {
+		cfg = DefaultConfig()
+	}
+	sorted := append(trace.Trace(nil), tr...)
+	sorted.SortByTime()
+
+	// Size host memory for the worst case: every distinct page
+	// resident, plus pages that sequential pre-pinning may touch in
+	// the holes of strided footprints, plus second-level tables.
+	frames := int64(sorted.Footprint())*6 + 16384
+	host := hostos.New(0, frames*units.PageSize, hostos.DefaultCosts())
+	nicClock := units.NewClock()
+	b := bus.New(host.Memory(), nicClock, bus.DefaultCosts())
+	nic := nicsim.New(0, units.MB, nicClock, b, nicsim.DefaultCosts())
+	cacheCfg := tlbcache.Config{Entries: cfg.CacheEntries, Ways: cfg.Ways, IndexOffset: cfg.IndexOffset}
+
+	cls := newClassifier(cfg.CacheEntries)
+	res := Result{Config: cfg}
+
+	spawn := func(pid units.ProcID) (*hostos.Process, error) {
+		return host.Spawn(pid, fmt.Sprintf("proc%d", pid),
+			vm.NewSpace(pid, host.Memory(), cfg.PinLimitPages))
+	}
+
+	switch cfg.Mechanism {
+	case UTLB:
+		drv, err := core.NewDriver(host, nic, cacheCfg)
+		if err != nil {
+			return res, err
+		}
+		translator := core.NewTranslator(drv, cfg.Prefetch)
+		libs := make(map[units.ProcID]*core.Lib)
+		for _, pid := range sorted.PIDs() {
+			proc, err := spawn(pid)
+			if err != nil {
+				return res, err
+			}
+			lib, err := core.NewLib(drv, proc, core.LibConfig{
+				Policy: cfg.Policy, PolicySeed: cfg.Seed, Prepin: cfg.Prepin,
+			})
+			if err != nil {
+				return res, err
+			}
+			libs[pid] = lib
+		}
+		for _, rec := range sorted {
+			lib := libs[rec.PID]
+			if err := lib.Lookup(rec.VA, int(rec.Bytes)); err != nil {
+				return res, fmt.Errorf("sim: lookup %v/%#x: %w", rec.PID, rec.VA, err)
+			}
+			pages := units.PagesSpanned(rec.VA, int(rec.Bytes))
+			first := rec.VA.PageOf()
+			for i := 0; i < pages; i++ {
+				vpn := first + units.VPN(i)
+				res.NIRefs++
+				_, info := translator.Translate(rec.PID, vpn)
+				cls.classify(&res, rec.PID, vpn, !info.Hit)
+			}
+		}
+		for _, lib := range libs {
+			st := lib.Stats()
+			res.Lookups += st.Lookups
+			res.CheckMisses += st.CheckMisses
+			res.Pins += st.PagesPinned
+			res.Unpins += st.PagesUnpinned
+			res.PinTime += st.PinTime
+			res.UnpinTime += st.UnpinTime
+			res.CheckTime += st.CheckTime
+		}
+		res.NIMisses = translator.Misses()
+
+	case Interrupt:
+		mech, err := intrbase.New(host, nic, cacheCfg)
+		if err != nil {
+			return res, err
+		}
+		for _, pid := range sorted.PIDs() {
+			proc, err := spawn(pid)
+			if err != nil {
+				return res, err
+			}
+			if err := mech.Register(proc); err != nil {
+				return res, err
+			}
+		}
+		for _, rec := range sorted {
+			pages := units.PagesSpanned(rec.VA, int(rec.Bytes))
+			first := rec.VA.PageOf()
+			for i := 0; i < pages; i++ {
+				vpn := first + units.VPN(i)
+				res.NIRefs++
+				missBefore := mech.Stats().Misses
+				if _, err := mech.Translate(rec.PID, vpn); err != nil {
+					return res, fmt.Errorf("sim: translate %v/%#x: %w", rec.PID, vpn, err)
+				}
+				cls.classify(&res, rec.PID, vpn, mech.Stats().Misses > missBefore)
+			}
+		}
+		st := mech.Stats()
+		res.Lookups = int64(len(sorted))
+		res.NIMisses = st.Misses
+		res.Pins = st.PagesPinned
+		res.Unpins = st.PagesUnpinned
+		res.PinTime = st.HandlerTime
+
+	default:
+		return res, fmt.Errorf("sim: unknown mechanism %d", cfg.Mechanism)
+	}
+
+	res.HostTime = host.Clock().Now()
+	res.NICTime = nicClock.Now()
+	return res, nil
+}

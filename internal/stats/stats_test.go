@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter("misses")
+	if c.Name() != "misses" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	if c.Value() != 0 {
+		t.Errorf("fresh counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Errorf("after Reset = %d", c.Value())
+	}
+}
+
+func TestCounterRate(t *testing.T) {
+	c := NewCounter("x")
+	c.Add(25)
+	if got := c.Rate(100); got != 0.25 {
+		t.Errorf("Rate = %v, want 0.25", got)
+	}
+	if got := c.Rate(0); got != 0 {
+		t.Errorf("Rate(0) = %v, want 0", got)
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet()
+	a := s.Counter("a")
+	b := s.Counter("b")
+	if s.Counter("a") != a {
+		t.Error("Counter should return the same instance")
+	}
+	a.Add(2)
+	b.Add(3)
+	snap := s.Snapshot()
+	if snap["a"] != 2 || snap["b"] != 3 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+	s.Reset()
+	if s.Counter("a").Value() != 0 {
+		t.Error("Reset did not zero counters")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Table X", "app", "misses")
+	tbl.AddRow("fft", "0.25")
+	tbl.AddRowf("lu", 0.5)
+	tbl.AddRow("radix") // short row gets padded
+	out := tbl.String()
+	for _, want := range []string{"Table X", "app", "misses", "fft", "0.25", "lu", "0.50", "radix"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tbl.NumRows() != 3 {
+		t.Errorf("NumRows = %d", tbl.NumRows())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("", "a", "bbbb")
+	tbl.AddRow("xxxxxx", "y")
+	lines := strings.Split(strings.TrimRight(tbl.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), lines)
+	}
+	// Header and row should be padded to the same column start.
+	if !strings.HasPrefix(lines[2], "xxxxxx  y") {
+		t.Errorf("row misaligned: %q", lines[2])
+	}
+}
+
+func TestFigure(t *testing.T) {
+	f := NewFigure("Fig 8", "prefetch", "miss rate")
+	f.Series("1K").Add(1, 0.5)
+	f.Series("1K").Add(4, 0.3)
+	f.Series("2K").Add(1, 0.4)
+	if got := f.SeriesNames(); len(got) != 2 || got[0] != "1K" {
+		t.Errorf("SeriesNames = %v", got)
+	}
+	out := f.String()
+	for _, want := range []string{"Fig 8", "prefetch", "1K", "2K", "0.5000", "0.3000", "0.4000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+	// Same series object on repeated access.
+	if f.Series("1K") != f.Series("1K") {
+		t.Error("Series should return the same instance")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{1: "1", 1.5: "1.5", 0.25: "0.25", 16: "16"}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package svm implements a home-based lazy-release-consistency shared
+// virtual memory system over VMMC — the software layer the paper's
+// traces were captured under ("a number of applications from the
+// SPLASH2 Application Suite with the Home-based Release Consistency
+// SVM Protocol", §6, citing Zhou/Iftode/Li's HLRC). Every shared page
+// has a home process holding the master copy; a page fault fetches the
+// page from home with a VMMC remote fetch, and at a release (barrier
+// or lock release) each writer diffs its dirty pages against a twin
+// and remote-stores just the changed runs directly into the home's
+// master copy — the zero-copy diff propagation that motivated VMMC's
+// design.
+//
+// The package serves two purposes: it is a realistic workload driver
+// for the UTLB (every fetch and diff flush exercises the translation
+// path on both NICs), and its Tracer reproduces the paper's
+// methodology — instrument the VMMC layer, record every send and
+// remote read with a globally synchronised timestamp, and feed the
+// result to the trace-driven simulator.
+package svm
+
+import (
+	"fmt"
+
+	"utlb/internal/core"
+	"utlb/internal/trace"
+	"utlb/internal/units"
+	"utlb/internal/vmmc"
+)
+
+// pageState tracks a cached page's consistency state.
+type pageState uint8
+
+const (
+	pageInvalid pageState = iota // must fetch from home before use
+	pageClean                    // valid copy, no local writes
+	pageDirty                    // locally written; twin held for diffing
+)
+
+// Config parameterises an SVM system.
+type Config struct {
+	// Peers is the number of SVM processes, one per cluster node.
+	Peers int
+	// RegionPages is the shared-region size in pages.
+	RegionPages int
+	// Base is the shared region's virtual base address, identical in
+	// every peer (SPMD layout).
+	Base units.VAddr
+	// ClusterOptions configures the underlying simulated cluster.
+	ClusterOptions vmmc.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Peers <= 0 {
+		c.Peers = 4
+	}
+	if c.RegionPages <= 0 {
+		c.RegionPages = 64
+	}
+	if c.Base == 0 {
+		c.Base = 0x4000_0000
+	}
+	c.ClusterOptions.Nodes = c.Peers
+	return c
+}
+
+// System is one SVM instance: the cluster, the peers, and the central
+// metadata manager (page epochs and write notices).
+type System struct {
+	cfg     Config
+	cluster *vmmc.Cluster
+	peers   []*Peer
+
+	// epoch is the global interval counter, advanced at every barrier
+	// and lock release.
+	epoch int64
+	// pageEpoch records the epoch of each page's last flushed write —
+	// the manager's write-notice state.
+	pageEpoch []int64
+	// locks maps lock id → the epoch of its last release.
+	locks map[int]int64
+
+	tracer *Tracer
+}
+
+// New builds an SVM system on a fresh simulated cluster.
+func New(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	cluster, err := vmmc.NewCluster(cfg.ClusterOptions)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:       cfg,
+		cluster:   cluster,
+		pageEpoch: make([]int64, cfg.RegionPages),
+		locks:     make(map[int]int64),
+		tracer:    &Tracer{},
+	}
+	// Spawn one peer per node; each exports its whole region copy so
+	// remote peers can fetch pages from their homes and store diffs.
+	for i := 0; i < cfg.Peers; i++ {
+		proc, err := cluster.Node(units.NodeID(i)).NewProcess(
+			units.ProcID(i+1), fmt.Sprintf("svm%d", i), 0,
+			core.LibConfig{Policy: core.LRU})
+		if err != nil {
+			return nil, err
+		}
+		p := &Peer{
+			sys:       s,
+			idx:       i,
+			proc:      proc,
+			state:     make([]pageState, cfg.RegionPages),
+			twins:     make(map[int][]byte),
+			syncEpoch: 0,
+		}
+		p.export, err = proc.Export(cfg.Base, cfg.RegionPages*units.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		s.peers = append(s.peers, p)
+	}
+	// Everyone imports everyone's region.
+	for _, p := range s.peers {
+		p.imports = make([]*vmmc.Imported, cfg.Peers)
+		for j := 0; j < cfg.Peers; j++ {
+			if j == p.idx {
+				continue
+			}
+			imp, err := p.proc.Import(units.NodeID(j), s.peers[j].export)
+			if err != nil {
+				return nil, err
+			}
+			p.imports[j] = imp
+		}
+	}
+	// Home pages start clean at their homes, invalid elsewhere.
+	for _, p := range s.peers {
+		for pg := 0; pg < cfg.RegionPages; pg++ {
+			if s.home(pg) == p.idx {
+				p.state[pg] = pageClean
+			} else {
+				p.state[pg] = pageInvalid
+			}
+		}
+	}
+	return s, nil
+}
+
+// home reports which peer holds page pg's master copy (round-robin
+// distribution, the usual home assignment).
+func (s *System) home(pg int) int { return pg % s.cfg.Peers }
+
+// Peer returns the i'th SVM process.
+func (s *System) Peer(i int) *Peer { return s.peers[i] }
+
+// Peers reports the number of SVM processes.
+func (s *System) Peers() int { return s.cfg.Peers }
+
+// RegionPages reports the shared-region size.
+func (s *System) RegionPages() int { return s.cfg.RegionPages }
+
+// Cluster exposes the underlying simulated cluster.
+func (s *System) Cluster() *vmmc.Cluster { return s.cluster }
+
+// Trace returns the communication trace recorded so far, serialised by
+// timestamp — the paper's §6 methodology.
+func (s *System) Trace() trace.Trace {
+	out := append(trace.Trace(nil), s.tracer.records...)
+	out.SortByTime()
+	return out
+}
+
+// Barrier is the global synchronisation point: every peer flushes its
+// dirty pages home (release), the interval advances, and every peer
+// invalidates cached copies that other peers have modified (acquire by
+// write notices). Callers invoke it after running a compute phase on
+// every peer.
+func (s *System) Barrier() error {
+	// Release: flush all dirty pages.
+	for _, p := range s.peers {
+		if err := p.flushDirty(); err != nil {
+			return fmt.Errorf("svm: barrier flush peer %d: %w", p.idx, err)
+		}
+	}
+	s.epoch++
+	// Acquire: apply write notices.
+	for _, p := range s.peers {
+		p.applyWriteNotices()
+		p.syncEpoch = s.epoch
+	}
+	return nil
+}
+
+// AcquireLock enters a critical section: the peer flushes nothing but
+// invalidates every cached page written since the lock's last release
+// (lazy release consistency ties the notices to the synchronisation
+// object; our manager is conservative and uses the global epoch of the
+// releaser).
+func (s *System) AcquireLock(p *Peer, lock int) {
+	if rel, ok := s.locks[lock]; ok && rel > p.syncEpoch {
+		p.applyWriteNotices()
+		p.syncEpoch = rel
+	}
+}
+
+// ReleaseLock leaves a critical section: the peer's dirty pages flush
+// home and the lock records the new epoch.
+func (s *System) ReleaseLock(p *Peer, lock int) error {
+	if err := p.flushDirty(); err != nil {
+		return fmt.Errorf("svm: release flush peer %d: %w", p.idx, err)
+	}
+	s.epoch++
+	s.locks[lock] = s.epoch
+	return nil
+}
+
+// Tracer records the communication operations the SVM layer issues,
+// in the paper's trace format.
+type Tracer struct {
+	records trace.Trace
+}
+
+func (t *Tracer) record(p *Peer, op trace.Op, va units.VAddr, nbytes int) {
+	t.records = append(t.records, trace.Record{
+		Time:  p.proc.Node().NIC().Clock().Now(),
+		Node:  p.proc.Node().ID(),
+		PID:   p.proc.PID(),
+		Op:    op,
+		VA:    va,
+		Bytes: int32(nbytes),
+	})
+}

@@ -1,0 +1,241 @@
+// Package tlbcache implements the Shared UTLB-Cache (paper §3.2): the
+// network-interface-resident cache of translation entries drawn from
+// per-process translation tables in host memory.
+//
+// Each entry is tagged with a process tag and a virtual-address tag
+// (the Hierarchical-UTLB line format of Figure 4). The cache supports
+// direct-mapped, 2-way, and 4-way organisations, LRU replacement within
+// a set, and the paper's index-offsetting technique: each process'
+// indices are offset by a process-dependent constant so simultaneous
+// processes hash to different cache regions (§6.3).
+package tlbcache
+
+import (
+	"fmt"
+
+	"utlb/internal/units"
+)
+
+// Key identifies one translation: a process and a virtual page.
+type Key struct {
+	PID units.ProcID
+	VPN units.VPN
+}
+
+// Config parameterises a cache.
+type Config struct {
+	// Entries is the total number of cache entries; must be a power of
+	// two. The paper's implementation uses 8 K entries (32 KB).
+	Entries int
+	// Ways is the set associativity: 1 (direct-mapped), 2, or 4.
+	Ways int
+	// IndexOffset enables the process-dependent index offsetting that
+	// distinguishes the paper's "direct" from "direct-nohash" rows.
+	IndexOffset bool
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Entries <= 0 || c.Entries&(c.Entries-1) != 0 {
+		return fmt.Errorf("tlbcache: entries %d not a positive power of two", c.Entries)
+	}
+	switch c.Ways {
+	case 1, 2, 4:
+	default:
+		return fmt.Errorf("tlbcache: associativity %d not in {1,2,4}", c.Ways)
+	}
+	if c.Entries%c.Ways != 0 {
+		return fmt.Errorf("tlbcache: entries %d not divisible by ways %d", c.Entries, c.Ways)
+	}
+	return nil
+}
+
+// EntryBytes is the SRAM footprint of one cache line: a 20-bit physical
+// address, an 8-bit address tag and a 4-bit process tag fit in 4 bytes
+// (Figure 3/4 line format).
+const EntryBytes = 4
+
+type line struct {
+	valid bool
+	key   Key
+	pfn   units.PFN
+	used  int64 // LRU stamp
+}
+
+// Result describes one lookup: whether it hit, the translation if so,
+// and how many entries the firmware had to probe (the LANai checks one
+// entry at a time, so probes directly scale lookup cost).
+type Result struct {
+	Hit    bool
+	PFN    units.PFN
+	Probes int
+}
+
+// Cache is a Shared UTLB-Cache.
+type Cache struct {
+	cfg     Config
+	numSets int
+	sets    []line // numSets * ways, set-major
+	tick    int64
+
+	hits   int64
+	misses int64
+}
+
+// New returns a cache for cfg. It panics on an invalid configuration:
+// cache geometry is fixed at design time, not a runtime input.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Cache{
+		cfg:     cfg,
+		numSets: cfg.Entries / cfg.Ways,
+		sets:    make([]line, cfg.Entries),
+	}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// SRAMBytes reports the cache's NIC SRAM footprint.
+func (c *Cache) SRAMBytes() int { return c.cfg.Entries * EntryBytes }
+
+// Hits and Misses report cumulative lookup outcomes.
+func (c *Cache) Hits() int64   { return c.hits }
+func (c *Cache) Misses() int64 { return c.misses }
+
+// offset returns the process-dependent index offset. Knuth's
+// multiplicative constant spreads consecutive PIDs far apart, which is
+// all the technique needs: the same table index from different
+// processes must land in different cache sets.
+func (c *Cache) offset(pid units.ProcID) uint64 {
+	if !c.cfg.IndexOffset {
+		return 0
+	}
+	return uint64(pid) * 2654435761
+}
+
+func (c *Cache) setIndex(k Key) int {
+	return int((uint64(k.VPN) + c.offset(k.PID)) & uint64(c.numSets-1))
+}
+
+func (c *Cache) set(k Key) []line {
+	i := c.setIndex(k) * c.cfg.Ways
+	return c.sets[i : i+c.cfg.Ways]
+}
+
+// Lookup probes the cache for k. Probes counts the entries examined:
+// on a hit, the position of the matching entry; on a miss, the full
+// set width.
+func (c *Cache) Lookup(k Key) Result {
+	set := c.set(k)
+	c.tick++
+	for i := range set {
+		if set[i].valid && set[i].key == k {
+			set[i].used = c.tick
+			c.hits++
+			return Result{Hit: true, PFN: set[i].pfn, Probes: i + 1}
+		}
+	}
+	c.misses++
+	return Result{Hit: false, PFN: units.NoPFN, Probes: len(set)}
+}
+
+// Peek reports whether k is cached without touching LRU state or
+// hit/miss counters. Used by tests and by prefetch logic.
+func (c *Cache) Peek(k Key) (units.PFN, bool) {
+	for _, ln := range c.set(k) {
+		if ln.valid && ln.key == k {
+			return ln.pfn, true
+		}
+	}
+	return units.NoPFN, false
+}
+
+// Insert installs k→pfn, evicting the set's LRU entry if needed. It
+// returns the evicted key, if any. Inserting an existing key updates
+// it in place.
+func (c *Cache) Insert(k Key, pfn units.PFN) (evicted Key, wasEvicted bool) {
+	set := c.set(k)
+	c.tick++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].key == k {
+			set[i].pfn = pfn
+			set[i].used = c.tick
+			return Key{}, false
+		}
+		if !set[i].valid {
+			if set[victim].valid {
+				victim = i
+			}
+			continue
+		}
+		if set[victim].valid && set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		evicted, wasEvicted = set[victim].key, true
+	}
+	set[victim] = line{valid: true, key: k, pfn: pfn, used: c.tick}
+	return evicted, wasEvicted
+}
+
+// Invalidate removes k from the cache if present, reporting whether it
+// was. The device driver calls this when a page is unpinned so the NIC
+// never holds a translation for reclaimable memory.
+func (c *Cache) Invalidate(k Key) bool {
+	set := c.set(k)
+	for i := range set {
+		if set[i].valid && set[i].key == k {
+			set[i] = line{}
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateProcess removes every entry belonging to pid (process
+// exit). It returns the number of entries dropped.
+func (c *Cache) InvalidateProcess(pid units.ProcID) int {
+	n := 0
+	for i := range c.sets {
+		if c.sets[i].valid && c.sets[i].key.PID == pid {
+			c.sets[i] = line{}
+			n++
+		}
+	}
+	return n
+}
+
+// Flush empties the cache.
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		c.sets[i] = line{}
+	}
+}
+
+// Occupancy reports how many entries are currently valid.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.sets {
+		if c.sets[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// OccupancyByProcess reports how many valid entries each process
+// holds — the cache-sharing breakdown multiprogramming studies read.
+func (c *Cache) OccupancyByProcess() map[units.ProcID]int {
+	out := make(map[units.ProcID]int)
+	for i := range c.sets {
+		if c.sets[i].valid {
+			out[c.sets[i].key.PID]++
+		}
+	}
+	return out
+}

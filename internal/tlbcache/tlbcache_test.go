@@ -1,0 +1,273 @@
+package tlbcache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"utlb/internal/units"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{Entries: 1024, Ways: 1},
+		{Entries: 2048, Ways: 2, IndexOffset: true},
+		{Entries: 8192, Ways: 4},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", c, err)
+		}
+	}
+	bad := []Config{
+		{Entries: 0, Ways: 1},
+		{Entries: 1000, Ways: 1}, // not a power of two
+		{Entries: 1024, Ways: 3},
+		{Entries: -4, Ways: 1},
+		{Entries: 1024, Ways: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", c)
+		}
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{Entries: 3, Ways: 1})
+}
+
+func TestLookupInsert(t *testing.T) {
+	c := New(Config{Entries: 16, Ways: 1})
+	k := Key{PID: 1, VPN: 0x42}
+	if r := c.Lookup(k); r.Hit {
+		t.Error("hit in empty cache")
+	}
+	c.Insert(k, 7)
+	r := c.Lookup(k)
+	if !r.Hit || r.PFN != 7 || r.Probes != 1 {
+		t.Errorf("Lookup = %+v", r)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestInsertUpdatesInPlace(t *testing.T) {
+	c := New(Config{Entries: 16, Ways: 2})
+	k := Key{PID: 1, VPN: 5}
+	c.Insert(k, 10)
+	if _, ev := c.Insert(k, 11); ev {
+		t.Error("update evicted something")
+	}
+	if r := c.Lookup(k); r.PFN != 11 {
+		t.Errorf("PFN = %d, want 11", r.PFN)
+	}
+	if c.Occupancy() != 1 {
+		t.Errorf("Occupancy = %d", c.Occupancy())
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := New(Config{Entries: 16, Ways: 1})
+	a := Key{PID: 1, VPN: 0}
+	b := Key{PID: 1, VPN: 16} // same set in a 16-set direct-mapped cache
+	c.Insert(a, 1)
+	evicted, was := c.Insert(b, 2)
+	if !was || evicted != a {
+		t.Errorf("evicted = %+v (%v), want %+v", evicted, was, a)
+	}
+	if r := c.Lookup(a); r.Hit {
+		t.Error("conflicting entry survived")
+	}
+}
+
+func TestTwoWayHoldsConflictPair(t *testing.T) {
+	c := New(Config{Entries: 16, Ways: 2})
+	a := Key{PID: 1, VPN: 0}
+	b := Key{PID: 1, VPN: 8} // 8 sets: vpn 0 and 8 collide
+	c.Insert(a, 1)
+	if _, was := c.Insert(b, 2); was {
+		t.Error("2-way evicted with a free way")
+	}
+	if !c.Lookup(a).Hit || !c.Lookup(b).Hit {
+		t.Error("both conflicting keys should hit in a 2-way cache")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	c := New(Config{Entries: 4, Ways: 2}) // 2 sets
+	a := Key{PID: 1, VPN: 0}
+	b := Key{PID: 1, VPN: 2}
+	d := Key{PID: 1, VPN: 4} // all even VPNs -> set 0
+	c.Insert(a, 1)
+	c.Insert(b, 2)
+	c.Lookup(a) // a is now MRU
+	evicted, was := c.Insert(d, 3)
+	if !was || evicted != b {
+		t.Errorf("LRU eviction chose %+v (%v), want %+v", evicted, was, b)
+	}
+}
+
+func TestProbeCounts(t *testing.T) {
+	c := New(Config{Entries: 8, Ways: 4})
+	keys := []Key{{1, 0}, {1, 2}, {1, 4}, {1, 6}} // one set (2 sets, even VPNs -> set 0)
+	for i, k := range keys {
+		c.Insert(k, units.PFN(i))
+	}
+	// Miss in a 4-way set probes all 4 entries.
+	if r := c.Lookup(Key{1, 8}); r.Hit || r.Probes != 4 {
+		t.Errorf("miss result = %+v", r)
+	}
+	// A hit probes at least 1 and at most 4.
+	if r := c.Lookup(keys[0]); !r.Hit || r.Probes < 1 || r.Probes > 4 {
+		t.Errorf("hit result = %+v", r)
+	}
+}
+
+func TestIndexOffsetSeparatesProcesses(t *testing.T) {
+	// With offsetting, the same VPN from different processes should
+	// usually land in different sets; without it, always the same set.
+	with := New(Config{Entries: 1024, Ways: 1, IndexOffset: true})
+	without := New(Config{Entries: 1024, Ways: 1})
+	same, diff := 0, 0
+	for pid := units.ProcID(1); pid <= 16; pid++ {
+		k0 := Key{PID: 0, VPN: 100}
+		kp := Key{PID: pid, VPN: 100}
+		if without.setIndex(k0) != without.setIndex(kp) {
+			t.Error("nohash cache separated identical VPNs")
+		}
+		if with.setIndex(k0) == with.setIndex(kp) {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff < 14 {
+		t.Errorf("offsetting separated only %d/16 processes", diff)
+	}
+	_ = same
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(Config{Entries: 16, Ways: 2})
+	k := Key{PID: 3, VPN: 9}
+	c.Insert(k, 5)
+	if !c.Invalidate(k) {
+		t.Error("Invalidate missed present key")
+	}
+	if c.Invalidate(k) {
+		t.Error("Invalidate found absent key")
+	}
+	if c.Lookup(k).Hit {
+		t.Error("invalidated key still hits")
+	}
+}
+
+func TestInvalidateProcess(t *testing.T) {
+	c := New(Config{Entries: 64, Ways: 2, IndexOffset: true})
+	for v := units.VPN(0); v < 10; v++ {
+		c.Insert(Key{PID: 1, VPN: v}, units.PFN(v))
+		c.Insert(Key{PID: 2, VPN: v}, units.PFN(v))
+	}
+	if n := c.InvalidateProcess(1); n != 10 {
+		t.Errorf("InvalidateProcess dropped %d, want 10", n)
+	}
+	for v := units.VPN(0); v < 10; v++ {
+		if _, ok := c.Peek(Key{PID: 1, VPN: v}); ok {
+			t.Fatal("pid 1 entry survived")
+		}
+		if _, ok := c.Peek(Key{PID: 2, VPN: v}); !ok {
+			t.Fatal("pid 2 entry lost")
+		}
+	}
+}
+
+func TestFlushAndOccupancy(t *testing.T) {
+	c := New(Config{Entries: 16, Ways: 1})
+	for v := units.VPN(0); v < 8; v++ {
+		c.Insert(Key{PID: 1, VPN: v}, 0)
+	}
+	if c.Occupancy() != 8 {
+		t.Errorf("Occupancy = %d", c.Occupancy())
+	}
+	c.Flush()
+	if c.Occupancy() != 0 {
+		t.Errorf("Occupancy after Flush = %d", c.Occupancy())
+	}
+}
+
+func TestSRAMBytes(t *testing.T) {
+	// The paper's cache: 8 K entries in 32 KB.
+	c := New(Config{Entries: 8192, Ways: 1})
+	if c.SRAMBytes() != 32*units.KB {
+		t.Errorf("SRAMBytes = %d, want 32K", c.SRAMBytes())
+	}
+}
+
+// Property: after any operation sequence, Lookup(k) hits iff k was
+// inserted after its last eviction/invalidation — verified against a
+// shadow model tracking the most recent Insert per key and evictions.
+func TestCacheAgainstShadowModel(t *testing.T) {
+	f := func(ops []uint16, ways8 bool) bool {
+		ways := 1
+		if ways8 {
+			ways = 2
+		}
+		c := New(Config{Entries: 32, Ways: ways, IndexOffset: true})
+		shadow := map[Key]units.PFN{}
+		for i, op := range ops {
+			k := Key{PID: units.ProcID(op % 3), VPN: units.VPN((op >> 2) % 64)}
+			switch op % 4 {
+			case 0, 1: // insert
+				pfn := units.PFN(i)
+				evicted, was := c.Insert(k, pfn)
+				shadow[k] = pfn
+				if was {
+					delete(shadow, evicted)
+				}
+			case 2: // lookup: a hit must match the shadow value
+				if r := c.Lookup(k); r.Hit {
+					want, ok := shadow[k]
+					if !ok || want != r.PFN {
+						return false
+					}
+				} else if _, ok := shadow[k]; ok {
+					return false // cache lost a key the shadow says is resident
+				}
+			case 3:
+				c.Invalidate(k)
+				delete(shadow, k)
+			}
+		}
+		return c.Occupancy() == len(shadow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOccupancyByProcess(t *testing.T) {
+	c := New(Config{Entries: 64, Ways: 2, IndexOffset: true})
+	for v := units.VPN(0); v < 5; v++ {
+		c.Insert(Key{PID: 1, VPN: v}, 0)
+	}
+	for v := units.VPN(0); v < 3; v++ {
+		c.Insert(Key{PID: 2, VPN: v}, 0)
+	}
+	by := c.OccupancyByProcess()
+	if by[1] != 5 || by[2] != 3 {
+		t.Errorf("OccupancyByProcess = %v", by)
+	}
+	total := 0
+	for _, n := range by {
+		total += n
+	}
+	if total != c.Occupancy() {
+		t.Errorf("per-process sum %d != occupancy %d", total, c.Occupancy())
+	}
+}

@@ -1,0 +1,131 @@
+// Package trace defines the communication-trace format the evaluation
+// runs on. The paper instruments the VMMC software "to trace each send
+// and remote read request along with a globally-synchronized clock",
+// then serialises the per-process traces by timestamp and feeds them to
+// the UTLB simulator (§6). A Record captures exactly that: who
+// communicated, when, which operation, and which user buffer.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"utlb/internal/units"
+)
+
+// Op is the traced communication operation.
+type Op uint8
+
+// Operations appearing in VMMC traces.
+const (
+	// Send is a remote store from a local buffer (VMMC send).
+	Send Op = iota
+	// Fetch is a remote read into a local buffer (VMMC remote-fetch).
+	Fetch
+)
+
+func (o Op) String() string {
+	switch o {
+	case Send:
+		return "send"
+	case Fetch:
+		return "fetch"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Record is one traced communication request.
+type Record struct {
+	// Time is the globally-synchronised timestamp.
+	Time units.Time
+	// Node is the host the request was issued on.
+	Node units.NodeID
+	// PID is the issuing process.
+	PID units.ProcID
+	// Op is the request type.
+	Op Op
+	// VA and Bytes describe the local user buffer.
+	VA    units.VAddr
+	Bytes int32
+}
+
+// Trace is a sequence of records.
+type Trace []Record
+
+// SortByTime serialises the trace by timestamp, breaking ties by
+// (node, pid) for determinism — the paper's "time stamps are used to
+// serialize the traces".
+func (t Trace) SortByTime() {
+	sort.SliceStable(t, func(i, j int) bool {
+		if t[i].Time != t[j].Time {
+			return t[i].Time < t[j].Time
+		}
+		if t[i].Node != t[j].Node {
+			return t[i].Node < t[j].Node
+		}
+		return t[i].PID < t[j].PID
+	})
+}
+
+// Merge combines traces and serialises the result by timestamp.
+func Merge(traces ...Trace) Trace {
+	var total int
+	for _, t := range traces {
+		total += len(t)
+	}
+	out := make(Trace, 0, total)
+	for _, t := range traces {
+		out = append(out, t...)
+	}
+	out.SortByTime()
+	return out
+}
+
+// Lookups reports the number of records (communication operations —
+// translation lookups in the paper's terminology, since the SVM
+// applications transfer about one page per operation).
+func (t Trace) Lookups() int { return len(t) }
+
+// Footprint reports the number of distinct (pid, page) pairs touched —
+// the paper's "communication memory footprint" in 4 KB pages.
+func (t Trace) Footprint() int {
+	type pk struct {
+		pid units.ProcID
+		vpn units.VPN
+	}
+	seen := make(map[pk]bool)
+	for _, r := range t {
+		pages := units.PagesSpanned(r.VA, int(r.Bytes))
+		first := r.VA.PageOf()
+		for i := 0; i < pages; i++ {
+			seen[pk{r.PID, first + units.VPN(i)}] = true
+		}
+	}
+	return len(seen)
+}
+
+// FilterNode returns the records issued on node.
+func (t Trace) FilterNode(node units.NodeID) Trace {
+	var out Trace
+	for _, r := range t {
+		if r.Node == node {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PIDs reports the distinct process IDs in the trace, sorted.
+func (t Trace) PIDs() []units.ProcID {
+	set := map[units.ProcID]bool{}
+	for _, r := range t {
+		set[r.PID] = true
+	}
+	out := make([]units.ProcID, 0, len(set))
+	for pid := range set {
+		out = append(out, pid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

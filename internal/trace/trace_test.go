@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"utlb/internal/units"
+)
+
+func sample() Trace {
+	return Trace{
+		{Time: 300, Node: 0, PID: 2, Op: Fetch, VA: 0x2000, Bytes: 4096},
+		{Time: 100, Node: 0, PID: 1, Op: Send, VA: 0x1000, Bytes: 4096},
+		{Time: 200, Node: 1, PID: 3, Op: Send, VA: 0x1800, Bytes: 100},
+		{Time: 200, Node: 0, PID: 4, Op: Send, VA: 0x0, Bytes: 1},
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Send.String() != "send" || Fetch.String() != "fetch" {
+		t.Error("Op strings wrong")
+	}
+	if Op(7).String() == "" {
+		t.Error("unknown op should format")
+	}
+}
+
+func TestSortByTime(t *testing.T) {
+	tr := sample()
+	tr.SortByTime()
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Time < tr[i-1].Time {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+	// Equal timestamps tie-break by node.
+	if tr[1].Node != 0 || tr[2].Node != 1 {
+		t.Errorf("tie-break wrong: %+v %+v", tr[1], tr[2])
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Trace{{Time: 5, PID: 1}}
+	b := Trace{{Time: 3, PID: 2}, {Time: 7, PID: 2}}
+	m := Merge(a, b)
+	if len(m) != 3 || m[0].Time != 3 || m[1].Time != 5 || m[2].Time != 7 {
+		t.Errorf("Merge = %+v", m)
+	}
+}
+
+func TestFootprintAndLookups(t *testing.T) {
+	tr := Trace{
+		{PID: 1, VA: 0, Bytes: 4096},    // page 0
+		{PID: 1, VA: 0, Bytes: 4096},    // page 0 again
+		{PID: 1, VA: 4096, Bytes: 8192}, // pages 1,2
+		{PID: 2, VA: 0, Bytes: 1},       // page 0, other pid
+		{PID: 1, VA: 4095, Bytes: 2},    // pages 0,1
+	}
+	if tr.Lookups() != 5 {
+		t.Errorf("Lookups = %d", tr.Lookups())
+	}
+	if got := tr.Footprint(); got != 4 {
+		t.Errorf("Footprint = %d, want 4 (pid1: 0,1,2; pid2: 0)", got)
+	}
+}
+
+func TestFilterNodeAndPIDs(t *testing.T) {
+	tr := sample()
+	n0 := tr.FilterNode(0)
+	if len(n0) != 3 {
+		t.Errorf("FilterNode(0) = %d records", len(n0))
+	}
+	pids := tr.PIDs()
+	want := []units.ProcID{1, 2, 3, 4}
+	if !reflect.DeepEqual(pids, want) {
+		t.Errorf("PIDs = %v", pids)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", got, tr)
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOTATRACE")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	WriteBinary(&buf, sample())
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", got, tr)
+	}
+}
+
+func TestTextCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\n100 0 1 send 0x1000 4096\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if got[0].VA != 0x1000 || got[0].Op != Send {
+		t.Errorf("record = %+v", got[0])
+	}
+}
+
+func TestTextBadInput(t *testing.T) {
+	for _, in := range []string{"garbage", "1 2 3 teleport 0x0 1", "1 2\n"} {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(times []uint32, seed uint8) bool {
+		tr := make(Trace, len(times))
+		for i, tm := range times {
+			tr[i] = Record{
+				Time:  units.Time(tm),
+				Node:  units.NodeID(i % 4),
+				PID:   units.ProcID(i%16 + 1),
+				Op:    Op(i % 2),
+				VA:    units.VAddr(uint64(tm) * 4096 % (1 << 31)),
+				Bytes: int32(int(seed)*7 + 1),
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(tr) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

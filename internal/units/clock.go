@@ -1,0 +1,33 @@
+package units
+
+// Clock is a monotonically advancing virtual clock. Components charge
+// simulated time to the clock of the machine they run on; experiments
+// read elapsed time by differencing Now around an operation, the same
+// way the paper times operations with the Pentium cycle counter and the
+// LANai real-time clock register.
+type Clock struct {
+	now Time
+}
+
+// NewClock returns a clock starting at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now reports the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. Negative advances panic: time in
+// the simulation never runs backwards.
+func (c *Clock) Advance(d Time) {
+	if d < 0 {
+		panic("units: clock advanced by negative duration")
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock to t if t is in the future; otherwise it is
+// a no-op. Used when synchronising a component with an event timestamp.
+func (c *Clock) AdvanceTo(t Time) {
+	if t > c.now {
+		c.now = t
+	}
+}

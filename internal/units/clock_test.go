@@ -1,0 +1,37 @@
+package units
+
+import "testing"
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Errorf("fresh clock Now = %d", c.Now())
+	}
+	c.Advance(5 * Microsecond)
+	c.Advance(0)
+	if c.Now() != 5*Microsecond {
+		t.Errorf("Now = %v", c.Now())
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	c := NewClock()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative advance")
+		}
+	}()
+	c.Advance(-1)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.AdvanceTo(10)
+	if c.Now() != 10 {
+		t.Errorf("Now = %d, want 10", c.Now())
+	}
+	c.AdvanceTo(5) // past timestamps never rewind the clock
+	if c.Now() != 10 {
+		t.Errorf("Now after past AdvanceTo = %d, want 10", c.Now())
+	}
+}

@@ -1,0 +1,110 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeMicros(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want float64
+	}{
+		{0, 0},
+		{Microsecond, 1},
+		{500 * Nanosecond, 0.5},
+		{Millisecond, 1000},
+		{27 * Microsecond, 27},
+	}
+	for _, c := range cases {
+		if got := c.t.Micros(); got != c.want {
+			t.Errorf("Time(%d).Micros() = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := (1800 * Nanosecond).String(); got != "1.80us" {
+		t.Errorf("String() = %q, want %q", got, "1.80us")
+	}
+}
+
+func TestFromMicros(t *testing.T) {
+	if got := FromMicros(2.5); got != 2500*Nanosecond {
+		t.Errorf("FromMicros(2.5) = %d, want 2500", got)
+	}
+}
+
+func TestPageGeometry(t *testing.T) {
+	if PageSize != 4096 {
+		t.Fatalf("PageSize = %d, want 4096", PageSize)
+	}
+	va := VAddr(0x12345)
+	if va.PageOf() != 0x12 {
+		t.Errorf("PageOf = %#x, want 0x12", va.PageOf())
+	}
+	if va.Offset() != 0x345 {
+		t.Errorf("Offset = %#x, want 0x345", va.Offset())
+	}
+	if VPN(0x12).Addr() != 0x12000 {
+		t.Errorf("VPN.Addr = %#x, want 0x12000", VPN(0x12).Addr())
+	}
+	if PFN(3).Addr() != 3*PageSize {
+		t.Errorf("PFN.Addr = %#x", PFN(3).Addr())
+	}
+	if PAddr(3*PageSize+7).PageOf() != 3 {
+		t.Errorf("PAddr.PageOf wrong")
+	}
+}
+
+func TestPagesSpanned(t *testing.T) {
+	cases := []struct {
+		va   VAddr
+		n    int
+		want int
+	}{
+		{0, 0, 0},
+		{0, -4, 0},
+		{0, 1, 1},
+		{0, PageSize, 1},
+		{0, PageSize + 1, 2},
+		{PageSize - 1, 2, 2},
+		{PageSize - 1, 1, 1},
+		{0, 4 * PageSize, 4},
+		{100, 4 * PageSize, 5},
+	}
+	for _, c := range cases {
+		if got := PagesSpanned(c.va, c.n); got != c.want {
+			t.Errorf("PagesSpanned(%#x, %d) = %d, want %d", c.va, c.n, got, c.want)
+		}
+	}
+}
+
+func TestPagesSpannedProperty(t *testing.T) {
+	// Every address in [va, va+n) must fall inside the spanned page range,
+	// and the range must be minimal (first and last pages are touched).
+	f := func(vaRaw uint32, nRaw uint16) bool {
+		va := VAddr(vaRaw)
+		n := int(nRaw)
+		got := PagesSpanned(va, n)
+		if n <= 0 {
+			return got == 0
+		}
+		first := va.PageOf()
+		last := (va + VAddr(n) - 1).PageOf()
+		return got == int(last-first)+1 && got >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVPNRoundTripProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		vpn := VPN(v)
+		return vpn.Addr().PageOf() == vpn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

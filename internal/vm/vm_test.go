@@ -1,0 +1,221 @@
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"utlb/internal/phys"
+	"utlb/internal/units"
+)
+
+func newSpace(t *testing.T, frames int, limit int) *Space {
+	t.Helper()
+	return NewSpace(1, phys.NewMemory(int64(frames)*units.PageSize), limit)
+}
+
+func TestTouchAndTranslate(t *testing.T) {
+	s := newSpace(t, 8, 0)
+	if _, err := s.Translate(5); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("Translate unmapped = %v, want ErrNotMapped", err)
+	}
+	pfn, err := s.Touch(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfn2, err := s.Touch(5)
+	if err != nil || pfn2 != pfn {
+		t.Errorf("repeated Touch = %d,%v, want %d,nil", pfn2, err, pfn)
+	}
+	got, err := s.Translate(5)
+	if err != nil || got != pfn {
+		t.Errorf("Translate = %d,%v", got, err)
+	}
+	if s.MappedPages() != 1 {
+		t.Errorf("MappedPages = %d", s.MappedPages())
+	}
+}
+
+func TestPinUnpinCounts(t *testing.T) {
+	s := newSpace(t, 8, 0)
+	if s.Pinned(3) {
+		t.Error("unmapped page reported pinned")
+	}
+	if _, err := s.Pin(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Pin(3); err != nil {
+		t.Fatal(err)
+	}
+	if s.PinCount(3) != 2 {
+		t.Errorf("PinCount = %d, want 2", s.PinCount(3))
+	}
+	if s.PinnedPages() != 1 {
+		t.Errorf("PinnedPages = %d, want 1 (distinct)", s.PinnedPages())
+	}
+	if err := s.Unpin(3); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Pinned(3) {
+		t.Error("page unpinned too early")
+	}
+	if err := s.Unpin(3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pinned(3) || s.PinnedPages() != 0 {
+		t.Error("page still pinned after balanced unpins")
+	}
+	if err := s.Unpin(3); !errors.Is(err, ErrNotPinned) {
+		t.Errorf("extra Unpin = %v, want ErrNotPinned", err)
+	}
+}
+
+func TestPinLimit(t *testing.T) {
+	s := newSpace(t, 8, 2)
+	if _, err := s.Pin(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Pin(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Pin(2); !errors.Is(err, ErrPinLimit) {
+		t.Errorf("over-limit Pin = %v, want ErrPinLimit", err)
+	}
+	// Re-pinning an already-pinned page does not charge the quota.
+	if _, err := s.Pin(0); err != nil {
+		t.Errorf("re-pin charged quota: %v", err)
+	}
+	// Unpinning frees quota for a new page.
+	s.Unpin(1)
+	if _, err := s.Pin(2); err != nil {
+		t.Errorf("Pin after quota freed = %v", err)
+	}
+}
+
+func TestSetPinLimit(t *testing.T) {
+	s := newSpace(t, 8, 0)
+	s.Pin(0)
+	s.Pin(1)
+	s.SetPinLimit(1)
+	if s.PinLimit() != 1 {
+		t.Errorf("PinLimit = %d", s.PinLimit())
+	}
+	// Existing pins survive; new pins are blocked.
+	if !s.Pinned(0) || !s.Pinned(1) {
+		t.Error("lowering limit unpinned pages")
+	}
+	if _, err := s.Pin(2); !errors.Is(err, ErrPinLimit) {
+		t.Errorf("Pin = %v, want ErrPinLimit", err)
+	}
+}
+
+func TestEvict(t *testing.T) {
+	mem := phys.NewMemory(2 * units.PageSize)
+	s := NewSpace(1, mem, 0)
+	s.Touch(0)
+	s.Touch(1)
+	if _, err := s.Touch(2); !errors.Is(err, phys.ErrOutOfMemory) {
+		t.Fatalf("Touch with full memory = %v", err)
+	}
+	if err := s.Evict(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Touch(2); err != nil {
+		t.Errorf("Touch after evict = %v", err)
+	}
+	if err := s.Evict(99); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("Evict unmapped = %v", err)
+	}
+}
+
+func TestEvictPinnedForbidden(t *testing.T) {
+	s := newSpace(t, 4, 0)
+	s.Pin(7)
+	if err := s.Evict(7); err == nil {
+		t.Fatal("evicted a pinned page")
+	}
+	s.Unpin(7)
+	if err := s.Evict(7); err != nil {
+		t.Fatalf("Evict after unpin = %v", err)
+	}
+}
+
+func TestReadWriteAt(t *testing.T) {
+	s := newSpace(t, 8, 0)
+	data := make([]byte, 3*units.PageSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	va := units.VAddr(units.PageSize - 17)
+	if err := s.WriteAt(va, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadAt(va, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("ReadAt/WriteAt round trip mismatch")
+	}
+}
+
+func TestReadWriteAtProperty(t *testing.T) {
+	s := newSpace(t, 64, 0)
+	f := func(vaRaw uint16, payload []byte) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		va := units.VAddr(vaRaw)
+		if err := s.WriteAt(va, payload); err != nil {
+			return false
+		}
+		got, err := s.ReadAt(va, len(payload))
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPinnedNeverExceedsLimitProperty(t *testing.T) {
+	// Invariant: under any interleaving of pins and unpins, the distinct
+	// pinned-page count never exceeds the limit, and Pin fails exactly
+	// when the quota is full.
+	const limit = 4
+	s := newSpace(t, 64, limit)
+	f := func(ops []uint8) bool {
+		for _, op := range ops {
+			vpn := units.VPN(op % 16)
+			if op%2 == 0 {
+				_, err := s.Pin(vpn)
+				if errors.Is(err, ErrPinLimit) && s.PinnedPages() < limit {
+					return false // refused below quota
+				}
+			} else {
+				s.Unpin(vpn) // may legitimately fail
+			}
+			if s.PinnedPages() > limit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelease(t *testing.T) {
+	mem := phys.NewMemory(4 * units.PageSize)
+	s := NewSpace(1, mem, 0)
+	s.Pin(0)
+	s.Touch(1)
+	s.Release()
+	if s.MappedPages() != 0 || s.PinnedPages() != 0 {
+		t.Errorf("after Release: mapped=%d pinned=%d", s.MappedPages(), s.PinnedPages())
+	}
+	if mem.FreeFrames() != 4 {
+		t.Errorf("frames leaked: free=%d", mem.FreeFrames())
+	}
+}

@@ -1,0 +1,126 @@
+package vmmc
+
+import (
+	"bytes"
+	"testing"
+
+	"utlb/internal/units"
+)
+
+func TestNotifications(t *testing.T) {
+	_, sender, receiver := pair(t, Options{})
+	buf, _ := receiver.Export(0x200000, 2*units.PageSize)
+	if err := receiver.EnableNotifications(buf); err != nil {
+		t.Fatal(err)
+	}
+	imp, _ := sender.Import(1, buf)
+
+	if _, ok := receiver.PollNotification(); ok {
+		t.Error("notification before any deposit")
+	}
+	data := pattern(100, 1)
+	sender.Write(0x100000, data)
+	if err := sender.Send(imp, 300, 0x100000, 100); err != nil {
+		t.Fatal(err)
+	}
+	n, ok := receiver.PollNotification()
+	if !ok {
+		t.Fatal("no notification after deposit")
+	}
+	if n.Buf != buf || n.From != 0 || n.Offset != 300 || n.Bytes != 100 {
+		t.Errorf("notification = %+v", n)
+	}
+	if n.Arrival == 0 {
+		t.Error("notification missing arrival time")
+	}
+	if _, ok := receiver.PollNotification(); ok {
+		t.Error("duplicate notification")
+	}
+}
+
+func TestNotificationsOwnershipAndDefault(t *testing.T) {
+	_, sender, receiver := pair(t, Options{})
+	buf, _ := receiver.Export(0x200000, units.PageSize)
+	if err := sender.EnableNotifications(buf); err == nil {
+		t.Error("non-owner enabled notifications")
+	}
+	// Without enabling, deposits are silent.
+	imp, _ := sender.Import(1, buf)
+	sender.Write(0x100000, pattern(10, 1))
+	sender.Send(imp, 0, 0x100000, 10)
+	if receiver.PendingNotifications() != 0 {
+		t.Error("notification without enable")
+	}
+}
+
+func TestNotificationQueueBounded(t *testing.T) {
+	_, sender, receiver := pair(t, Options{})
+	buf, _ := receiver.Export(0x200000, units.PageSize)
+	receiver.EnableNotifications(buf)
+	imp, _ := sender.Import(1, buf)
+	sender.Write(0x100000, pattern(1, 1))
+	for i := 0; i < maxPendingNotifications+50; i++ {
+		if err := sender.Send(imp, 0, 0x100000, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := receiver.PendingNotifications(); got != maxPendingNotifications {
+		t.Errorf("queue depth = %d, want bound %d", got, maxPendingNotifications)
+	}
+}
+
+func TestNodeRemappingRecoversTransfer(t *testing.T) {
+	c, sender, receiver := pair(t, Options{})
+	buf, _ := receiver.Export(0x200000, 2*units.PageSize)
+	imp, _ := sender.Import(1, buf)
+
+	// Kill the primary route from node 0 to node 1.
+	c.Network().FailRoute(0, 1, 0)
+
+	data := pattern(2*units.PageSize, 9)
+	sender.Write(0x100000, data)
+	nicBefore := sender.Node().NIC().Clock().Now()
+	if err := sender.Send(imp, 0, 0x100000, 2*units.PageSize); err != nil {
+		t.Fatalf("send did not recover via remap: %v", err)
+	}
+	if sender.Node().Remaps() == 0 {
+		t.Error("no remap recorded")
+	}
+	if got := sender.Node().NIC().Clock().Now() - nicBefore; got < RemapCost {
+		t.Error("remap cost not charged")
+	}
+	got, _ := receiver.Read(0x200000, 2*units.PageSize)
+	if !bytes.Equal(got, data) {
+		t.Error("data corrupted across remap")
+	}
+}
+
+func TestNodeRemappingBothRoutesDead(t *testing.T) {
+	c, sender, receiver := pair(t, Options{})
+	buf, _ := receiver.Export(0x200000, units.PageSize)
+	imp, _ := sender.Import(1, buf)
+	c.Network().FailRoute(0, 1, 0)
+	c.Network().FailRoute(0, 1, 1)
+	sender.Write(0x100000, pattern(10, 1))
+	if err := sender.Send(imp, 0, 0x100000, 10); err == nil {
+		t.Error("send succeeded with every route dead")
+	}
+}
+
+func TestRemapDuringFetch(t *testing.T) {
+	c, fetcher, owner := pair(t, Options{})
+	data := pattern(units.PageSize, 3)
+	owner.Write(0x300000, data)
+	buf, _ := owner.Export(0x300000, units.PageSize)
+	imp, _ := fetcher.Import(1, buf)
+
+	// Fail the request direction; the fetch must remap and complete.
+	c.Network().FailRoute(0, 1, 0)
+	if err := fetcher.Fetch(imp, 0, 0x500000, units.PageSize); err != nil {
+		t.Fatalf("fetch did not recover: %v", err)
+	}
+	got, _ := fetcher.Read(0x500000, units.PageSize)
+	if !bytes.Equal(got, data) {
+		t.Error("fetched data corrupted across remap")
+	}
+}

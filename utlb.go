@@ -1,0 +1,199 @@
+// Package utlb is a full reproduction of "UTLB: A Mechanism for
+// Address Translation on Network Interfaces" (Chen, Bilas, Damianakis,
+// Dubnicki, Li — ASPLOS 1998) as a simulated Myrinet PC cluster in
+// pure Go.
+//
+// The package exposes three layers:
+//
+//   - A live simulated cluster running VMMC (virtual memory-mapped
+//     communication) with Hierarchical-UTLB address translation:
+//     build one with NewCluster, spawn processes, export/import
+//     buffers, and move real bytes with Send/Fetch/Redirect while the
+//     simulation charges calibrated 1998-era costs to virtual clocks.
+//
+//   - The trace-driven evaluation of the paper's §6: generate
+//     SPLASH-2-like communication traces with GenerateTrace, run them
+//     through the UTLB or the interrupt-based baseline with Simulate,
+//     and read miss rates, pin/unpin counts and lookup costs from the
+//     result.
+//
+//   - The paper's tables and figures: RunExperiment regenerates any of
+//     them (see ExperimentNames), as does the utlbsim command.
+//
+// See README.md for a tour and DESIGN.md for the system inventory.
+package utlb
+
+import (
+	"io"
+
+	"utlb/internal/core"
+	"utlb/internal/experiments"
+	"utlb/internal/fabric"
+	"utlb/internal/sim"
+	"utlb/internal/svm"
+	"utlb/internal/trace"
+	"utlb/internal/units"
+	"utlb/internal/vmmc"
+	"utlb/internal/workload"
+)
+
+// Scalar types shared across the API.
+type (
+	// Time is simulated time in nanoseconds.
+	Time = units.Time
+	// VAddr is a virtual address in a process address space.
+	VAddr = units.VAddr
+	// NodeID identifies a cluster node.
+	NodeID = units.NodeID
+	// ProcID identifies a process.
+	ProcID = units.ProcID
+)
+
+// PageSize is the simulated page size (4 KB, as on the paper's
+// machines).
+const PageSize = units.PageSize
+
+// FromMicros converts microseconds to Time.
+func FromMicros(us float64) Time { return units.FromMicros(us) }
+
+// Cluster layer.
+type (
+	// Cluster is a simulated Myrinet PC cluster running VMMC with
+	// UTLB address translation.
+	Cluster = vmmc.Cluster
+	// ClusterOptions configure NewCluster.
+	ClusterOptions = vmmc.Options
+	// Node is one cluster machine.
+	Node = vmmc.Node
+	// Proc is a process' VMMC handle: Export, Import, Send, Fetch,
+	// Redirect.
+	Proc = vmmc.Proc
+	// BufferID names an exported receive buffer.
+	BufferID = vmmc.BufferID
+	// Imported is a handle on a remote receive buffer.
+	Imported = vmmc.Imported
+	// FaultPlan injects network loss and corruption.
+	FaultPlan = fabric.FaultPlan
+	// LibConfig selects a process' replacement policy and pre-pinning.
+	LibConfig = core.LibConfig
+	// PolicyKind names a replacement policy.
+	PolicyKind = core.PolicyKind
+)
+
+// Replacement policies (§3.4).
+const (
+	LRU    = core.LRU
+	MRU    = core.MRU
+	LFU    = core.LFU
+	MFU    = core.MFU
+	Random = core.Random
+)
+
+// NewCluster builds a simulated cluster.
+func NewCluster(opts ClusterOptions) (*Cluster, error) { return vmmc.NewCluster(opts) }
+
+// Trace-driven evaluation layer.
+type (
+	// Trace is a communication trace (§6's input).
+	Trace = trace.Trace
+	// TraceRecord is one traced operation.
+	TraceRecord = trace.Record
+	// SimConfig parameterises Simulate.
+	SimConfig = sim.Config
+	// SimResult carries measured statistics and derived rates.
+	SimResult = sim.Result
+	// Mechanism selects UTLB or the interrupt baseline.
+	Mechanism = sim.Mechanism
+	// WorkloadSpec describes one of the seven applications.
+	WorkloadSpec = workload.Spec
+	// WorkloadConfig parameterises trace generation.
+	WorkloadConfig = workload.Config
+)
+
+// Mechanisms.
+const (
+	UTLB      = sim.UTLB
+	Interrupt = sim.Interrupt
+)
+
+// DefaultSimConfig is the paper's baseline configuration: 8 K entry
+// direct-mapped cache with index offsetting, no prefetch, LRU,
+// infinite memory.
+func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
+
+// Simulate runs a trace through the configured mechanism.
+func Simulate(tr Trace, cfg SimConfig) (SimResult, error) { return sim.Run(tr, cfg) }
+
+// Workloads lists the seven SPLASH-2-like application specs in the
+// paper's Table 3 order.
+func Workloads() []*WorkloadSpec { return workload.Specs() }
+
+// WorkloadByName returns the named application spec.
+func WorkloadByName(name string) (*WorkloadSpec, error) { return workload.ByName(name) }
+
+// GenerateTrace produces one node's communication trace for the named
+// application at the given scale (1.0 = the paper's size).
+func GenerateTrace(app string, seed int64, scale float64) (Trace, error) {
+	spec, err := workload.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Generate(workload.Config{Node: 0, FirstPID: 1, Seed: seed, Scale: scale}), nil
+}
+
+// ReadTrace and WriteTrace (de)serialise traces in the binary format.
+func ReadTrace(r io.Reader) (Trace, error)       { return trace.ReadBinary(r) }
+func WriteTrace(w io.Writer, tr Trace) error     { return trace.WriteBinary(w, tr) }
+func ReadTraceText(r io.Reader) (Trace, error)   { return trace.ReadText(r) }
+func WriteTraceText(w io.Writer, tr Trace) error { return trace.WriteText(w, tr) }
+
+// Shared-virtual-memory layer: the home-based lazy-release-consistency
+// protocol the paper's traces were captured under, runnable on the
+// simulated cluster. SVM kernels (Jacobi, transpose, lock reductions)
+// both exercise the UTLB end to end and capture paper-style traces.
+type (
+	// SVM is a home-based LRC shared-memory system over the cluster.
+	SVM = svm.System
+	// SVMConfig parameterises NewSVM.
+	SVMConfig = svm.Config
+	// SVMPeer is one SVM process.
+	SVMPeer = svm.Peer
+)
+
+// NewSVM builds an SVM system on a fresh simulated cluster.
+func NewSVM(cfg SVMConfig) (*SVM, error) { return svm.New(cfg) }
+
+// RunJacobi executes a Jacobi relaxation kernel over SVM (see
+// svm.RunJacobi); JacobiSerial and JacobiResult support verification.
+func RunJacobi(s *SVM, n, iters int) error { return svm.RunJacobi(s, n, iters) }
+
+// JacobiSerial computes the reference result sequentially.
+func JacobiSerial(n, iters int) []uint32 { return svm.JacobiSerial(n, iters) }
+
+// JacobiResult reads back the final generation of a RunJacobi run.
+func JacobiResult(s *SVM, n, iters int) ([]uint32, error) { return svm.JacobiResult(s, n, iters) }
+
+// RunTranspose executes a strided matrix-transpose kernel over SVM.
+func RunTranspose(s *SVM, n int) error { return svm.RunTranspose(s, n) }
+
+// RunSumReduce executes a lock-based reduction kernel over SVM.
+func RunSumReduce(s *SVM, n int) (uint32, error) { return svm.RunSumReduce(s, n) }
+
+// Experiment layer.
+
+// ExperimentOptions tune experiment execution.
+type ExperimentOptions = experiments.Options
+
+// ExperimentNames lists every reproducible table and figure.
+func ExperimentNames() []string { return append([]string(nil), experiments.Names...) }
+
+// RunExperiment regenerates the named table or figure, writing its
+// text rendering to w.
+func RunExperiment(name string, opts ExperimentOptions, w io.Writer) error {
+	return experiments.Run(name, opts, w)
+}
+
+// RunAllExperiments regenerates the full evaluation.
+func RunAllExperiments(opts ExperimentOptions, w io.Writer) error {
+	return experiments.RunAll(opts, w)
+}
