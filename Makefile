@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all check vet build test race bench bench-json clean
+
+all: check
+
+# The full local gate: what CI runs, in order.
+check: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short benchmark smoke: one iteration of each tracked benchmark, just
+# to prove they still compile and run. Real numbers: see BENCH_baseline.json.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulateUTLB|BenchmarkSimulateInterrupt|BenchmarkTraceGen$$|BenchmarkRunAll' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkClassifier|BenchmarkSimRun' -benchtime 1x -benchmem ./internal/sim
+
+# Regenerate the machine-readable numbers for BENCH_baseline.json.
+bench-json:
+	$(GO) run ./cmd/benchjson
+
+clean:
+	$(GO) clean ./...

@@ -239,6 +239,42 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceGen times one cold workload-trace generation per
+// iteration (distinct seeds defeat the memoised trace store), the
+// operation the store amortises across experiments.
+func BenchmarkTraceGen(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateTrace("water-spatial", int64(i+1), 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllSequential regenerates the full experiment suite at
+// worker-pool width 1 — the seed repo's strictly sequential path.
+func BenchmarkRunAllSequential(b *testing.B) { benchRunAll(b, 1) }
+
+// BenchmarkRunAllParallel is the same suite at GOMAXPROCS width; on a
+// multi-core machine the wall-clock ratio to BenchmarkRunAllSequential
+// is the experiment engine's speedup (the two outputs are
+// byte-identical — see internal/experiments determinism tests).
+func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, 0) }
+
+func benchRunAll(b *testing.B, width int) {
+	b.Helper()
+	SetParallelism(width)
+	defer SetParallelism(0)
+	opts := benchOpts()
+	opts.Nodes = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := RunAllExperiments(opts, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAblationMultiprog mixes independent applications in the
 // shared cache.
 func BenchmarkAblationMultiprog(b *testing.B) {

@@ -1,0 +1,118 @@
+// Command benchjson measures the repo's performance-tracking
+// benchmarks with testing.Benchmark and emits one JSON document, the
+// format recorded in BENCH_baseline.json. It covers the experiment
+// engine (RunAll at pool width 1 vs GOMAXPROCS), the trace-driven
+// simulator, and trace generation; the classifier micro-benchmarks
+// live inside internal/sim (unexported type) and are collected with:
+//
+//	go test -run '^$' -bench 'BenchmarkClassifier' -benchmem ./internal/sim
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-scale 0.05] > numbers.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"utlb/internal/experiments"
+	"utlb/internal/parallel"
+	"utlb/internal/sim"
+	"utlb/internal/workload"
+)
+
+type entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+	Note        string  `json:"note,omitempty"`
+	SpeedupVs   string  `json:"speedup_vs,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
+}
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "workload scale for the RunAll benchmarks")
+	flag.Parse()
+
+	if err := run(os.Stdout, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, scale float64) error {
+	opts := experiments.Options{Scale: scale, Seed: 1998, Nodes: 2, Apps: []string{"barnes", "fft"}}
+	spec, err := workload.ByName("water-spatial")
+	if err != nil {
+		return err
+	}
+	simTrace := spec.GenerateCached(workload.Config{Node: 0, FirstPID: 1, Seed: 1998, Scale: 0.1})
+	simCfg := sim.DefaultConfig()
+	simCfg.CacheEntries = 1024
+
+	var entries []entry
+	record := func(name, note string, f func(b *testing.B)) testing.BenchmarkResult {
+		r := testing.Benchmark(f)
+		entries = append(entries, entry{
+			Name:        name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+			Note:        note,
+		})
+		return r
+	}
+
+	record("SimRun", "one UTLB trace-driven run, water-spatial @0.1, 1K entries", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(simTrace, simCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	record("TraceGen", "cold workload-trace generation, water-spatial @0.1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			workload.ResetTraceStore()
+			spec.GenerateCached(workload.Config{Node: 0, FirstPID: 1, Seed: int64(i + 1), Scale: 0.1})
+		}
+	})
+
+	runAll := func(width int) func(b *testing.B) {
+		return func(b *testing.B) {
+			parallel.SetWorkers(width)
+			defer parallel.SetWorkers(0)
+			for i := 0; i < b.N; i++ {
+				if err := experiments.RunAll(opts, io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	seq := record("RunAllSequential", "full experiment suite, pool width 1", runAll(1))
+	par := record("RunAllParallel", fmt.Sprintf("full experiment suite, pool width GOMAXPROCS=%d", runtime.GOMAXPROCS(0)), runAll(0))
+	if par.NsPerOp() > 0 {
+		entries[len(entries)-1].SpeedupVs = "RunAllSequential"
+		entries[len(entries)-1].Speedup = float64(seq.NsPerOp()) / float64(par.NsPerOp())
+	}
+
+	doc := struct {
+		GoMaxProcs int     `json:"gomaxprocs"`
+		NumCPU     int     `json:"num_cpu"`
+		Scale      float64 `json:"scale"`
+		Benchmarks []entry `json:"benchmarks"`
+	}{runtime.GOMAXPROCS(0), runtime.NumCPU(), scale, entries}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

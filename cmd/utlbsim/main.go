@@ -13,9 +13,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"utlb/internal/experiments"
+	"utlb/internal/parallel"
 	"utlb/internal/trace"
 )
 
@@ -26,11 +28,13 @@ func main() {
 		seed     = flag.Int64("seed", 1998, "random seed for trace generation and policies")
 		apps     = flag.String("apps", "", "comma-separated application subset (default: all seven)")
 		nodes    = flag.Int("nodes", 1, "cluster nodes to simulate and average over (the paper uses 4)")
+		par      = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for experiment execution (1 = sequential; output is identical at any width)")
 		list     = flag.Bool("list", false, "list experiment names and exit")
 		traceIn  = flag.String("trace", "", "run the UTLB-vs-Intr comparison on a binary trace file instead of an experiment")
 		pinLimit = flag.Int("pinlimit", 0, "per-process pinned-page quota for -trace (0 = unlimited)")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*par)
 
 	if *list {
 		for _, name := range experiments.Names {

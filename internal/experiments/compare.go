@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"utlb/internal/parallel"
 	"utlb/internal/sim"
 	"utlb/internal/stats"
 	"utlb/internal/trace"
@@ -19,7 +20,8 @@ func CompareTrace(tr trace.Trace, seed int64, pinLimitPages int) (*stats.Table, 
 			tr.Lookups(), tr.Footprint(), pinLimitPages),
 		"cache", "UTLB check misses", "NI misses (both)", "UTLB unpins", "Intr unpins",
 		"UTLB lookup us", "Intr lookup us")
-	for _, entries := range cacheSizes {
+	rows, err := parallel.Map(len(cacheSizes), func(si int) ([]string, error) {
+		entries := cacheSizes[si]
 		cfg := sim.DefaultConfig()
 		cfg.CacheEntries = entries
 		cfg.Seed = seed
@@ -33,13 +35,19 @@ func CompareTrace(tr trace.Trace, seed int64, pinLimitPages int) (*stats.Table, 
 		if err != nil {
 			return nil, fmt.Errorf("compare Intr %d: %w", entries, err)
 		}
-		tbl.AddRow(sizeLabel(entries),
+		return []string{sizeLabel(entries),
 			fmt.Sprintf("%.2f", u.CheckMissRate()),
 			fmt.Sprintf("%.2f/%.2f", u.NIMissRate(), i.NIMissRate()),
 			fmt.Sprintf("%.2f", u.UnpinRate()),
 			fmt.Sprintf("%.2f", i.UnpinRate()),
 			fmt.Sprintf("%.1f", u.AvgLookupCost().Micros()),
-			fmt.Sprintf("%.1f", i.AvgLookupCost().Micros()))
+			fmt.Sprintf("%.1f", i.AvgLookupCost().Micros())}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tbl.AddRow(row...)
 	}
 	return tbl, nil
 }

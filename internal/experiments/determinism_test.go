@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"utlb/internal/parallel"
+	"utlb/internal/workload"
+)
+
+// TestParallelOutputByteIdentical asserts the worker-pool rewiring is
+// invisible in the rendered results: every experiment produces exactly
+// the same bytes at pool width 1 (sequential semantics) and width 8.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment set twice")
+	}
+	opts := Options{Scale: 0.03, Seed: 7, Apps: []string{"water-spatial", "fft"}, Nodes: 2}
+	render := func(width int) string {
+		parallel.SetWorkers(width)
+		defer parallel.SetWorkers(0)
+		workload.ResetTraceStore()
+		var sb strings.Builder
+		if err := RunAll(opts, &sb); err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		return sb.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Errorf("parallel output diverged from sequential (lens %d vs %d)", len(seq), len(par))
+		for i := 0; i < len(seq) && i < len(par); i++ {
+			if seq[i] != par[i] {
+				lo := i - 60
+				if lo < 0 {
+					lo = 0
+				}
+				t.Errorf("first difference at byte %d:\nseq: %q\npar: %q", i, seq[lo:i+20], par[lo:i+20])
+				break
+			}
+		}
+	}
+	// The memoised trace store must not change results either: render
+	// again without resetting it.
+	parallel.SetWorkers(8)
+	defer parallel.SetWorkers(0)
+	var sb strings.Builder
+	if err := RunAll(opts, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != seq {
+		t.Error("warm trace store changed experiment output")
+	}
+}
+
+// TestSingleExperimentByteIdentical is the cheap always-on variant:
+// one table, sequential vs parallel.
+func TestSingleExperimentByteIdentical(t *testing.T) {
+	opts := Options{Scale: 0.03, Seed: 7, Apps: []string{"water-spatial"}, Nodes: 2}
+	render := func(width int) string {
+		parallel.SetWorkers(width)
+		defer parallel.SetWorkers(0)
+		workload.ResetTraceStore()
+		var sb strings.Builder
+		if err := Run("table4", opts, &sb); err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		return sb.String()
+	}
+	if seq, par := render(1), render(8); seq != par {
+		t.Errorf("table4 diverged:\n--- width 1 ---\n%s\n--- width 8 ---\n%s", seq, par)
+	}
+}

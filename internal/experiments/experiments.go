@@ -6,10 +6,12 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
 
+	"utlb/internal/parallel"
 	"utlb/internal/trace"
 	"utlb/internal/units"
 	"utlb/internal/workload"
@@ -52,60 +54,56 @@ func (o Options) apps() []string {
 	return o.Apps
 }
 
-// traceFor generates (and memoises) the node-0 trace of app.
-func (o Options) traceFor(app string, cache map[string]trace.Trace) (trace.Trace, error) {
-	if tr, ok := cache[app]; ok {
-		return tr, nil
-	}
+// traceFor returns app's node-0 trace, memoised in the process-wide
+// workload trace store (shared across experiments and goroutines; the
+// trace must be treated as read-only).
+func (o Options) traceFor(app string) (trace.Trace, error) {
 	spec, err := workload.ByName(app)
 	if err != nil {
 		return nil, err
 	}
-	tr := spec.Generate(workload.Config{
+	return spec.GenerateCached(workload.Config{
 		Node: 0, FirstPID: 1, Seed: o.Seed, Scale: o.scale(),
-	})
-	cache[app] = tr
-	return tr, nil
+	}), nil
 }
 
-// nodeTracesFor generates one trace per simulated node (distinct
-// seeds, globally unique PIDs), memoised per app.
-func (o Options) nodeTracesFor(app string, cache map[string][]trace.Trace) ([]trace.Trace, error) {
-	if trs, ok := cache[app]; ok {
-		return trs, nil
-	}
+// nodeTracesFor returns one trace per simulated node (distinct seeds,
+// globally unique PIDs), each memoised in the workload trace store.
+// Node 0's trace is the same store entry traceFor returns.
+func (o Options) nodeTracesFor(app string) ([]trace.Trace, error) {
 	spec, err := workload.ByName(app)
 	if err != nil {
 		return nil, err
 	}
-	trs := make([]trace.Trace, o.nodes())
-	for n := range trs {
-		trs[n] = spec.Generate(workload.Config{
+	return parallel.Map(o.nodes(), func(n int) (trace.Trace, error) {
+		return spec.GenerateCached(workload.Config{
 			Node:     units.NodeID(n),
 			FirstPID: units.ProcID(1 + n*workload.ProcsPerNode),
 			Seed:     o.Seed + int64(n)*7919,
 			Scale:    o.scale(),
-		})
-	}
-	cache[app] = trs
-	return trs, nil
+		}), nil
+	})
 }
 
 // avgOver runs f on every node trace of app and averages the returned
 // rates element-wise — "all the numbers are averaged over the total
-// number of lookups ... on each node" (§6.2).
-func (o Options) avgOver(app string, cache map[string][]trace.Trace,
-	f func(trace.Trace) ([]float64, error)) ([]float64, error) {
-	trs, err := o.nodeTracesFor(app, cache)
+// number of lookups ... on each node" (§6.2). The per-node runs are
+// independent simulations, so they fan out through the worker pool;
+// summation stays in node order, so the float result is bit-identical
+// to the sequential loop's.
+func (o Options) avgOver(app string, f func(trace.Trace) ([]float64, error)) ([]float64, error) {
+	trs, err := o.nodeTracesFor(app)
+	if err != nil {
+		return nil, err
+	}
+	perNode, err := parallel.Map(len(trs), func(n int) ([]float64, error) {
+		return f(trs[n])
+	})
 	if err != nil {
 		return nil, err
 	}
 	var sum []float64
-	for _, tr := range trs {
-		vals, err := f(tr)
-		if err != nil {
-			return nil, err
-		}
+	for _, vals := range perNode {
 		if sum == nil {
 			sum = make([]float64, len(vals))
 		}
@@ -180,16 +178,25 @@ func Run(name string, opts Options, w io.Writer) error {
 	return render(w, out)
 }
 
-// RunAll executes every experiment in order.
+// RunAll executes every experiment. The experiments are independent
+// computations, so each renders into its own buffer on the worker
+// pool; the buffers are written to w in paper order, making the output
+// byte-identical to a sequential run.
 func RunAll(opts Options, w io.Writer) error {
-	for _, name := range Names {
-		if _, err := fmt.Fprintf(w, "=== %s ===\n", name); err != nil {
-			return err
+	outs, err := parallel.Map(len(Names), func(i int) ([]byte, error) {
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "=== %s ===\n", Names[i])
+		if err := Run(Names[i], opts, &buf); err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", Names[i], err)
 		}
-		if err := Run(name, opts, w); err != nil {
-			return fmt.Errorf("experiments: %s: %w", name, err)
-		}
-		if _, err := fmt.Fprintln(w); err != nil {
+		fmt.Fprintln(&buf)
+		return buf.Bytes(), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, out := range outs {
+		if _, err := w.Write(out); err != nil {
 			return err
 		}
 	}

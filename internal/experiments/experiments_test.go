@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"strings"
+	"sync/atomic"
 	"testing"
+
 	"utlb/internal/trace"
 	"utlb/internal/workload"
 )
@@ -245,8 +247,7 @@ func TestCompareTrace(t *testing.T) {
 
 func TestNodeAveraging(t *testing.T) {
 	opts := Options{Scale: 0.03, Seed: 7, Apps: []string{"water-spatial"}, Nodes: 3}
-	cache := map[string][]trace.Trace{}
-	trs, err := opts.nodeTracesFor("water-spatial", cache)
+	trs, err := opts.nodeTracesFor("water-spatial")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,17 +267,16 @@ func TestNodeAveraging(t *testing.T) {
 	if len(pids) != 3*workload.ProcsPerNode {
 		t.Errorf("distinct pids = %d", len(pids))
 	}
-	// avgOver averages element-wise.
-	calls := 0
-	avg, err := opts.avgOver("water-spatial", cache, func(tr trace.Trace) ([]float64, error) {
-		calls++
-		return []float64{1, float64(calls)}, nil
+	// avgOver averages element-wise; f may run on pool goroutines.
+	var calls atomic.Int64
+	avg, err := opts.avgOver("water-spatial", func(tr trace.Trace) ([]float64, error) {
+		return []float64{1, float64(calls.Add(1))}, nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if calls != 3 || avg[0] != 1 || avg[1] != 2 {
-		t.Errorf("avgOver calls=%d avg=%v", calls, avg)
+	if calls.Load() != 3 || avg[0] != 1 || avg[1] != 2 {
+		t.Errorf("avgOver calls=%d avg=%v", calls.Load(), avg)
 	}
 	// A node-averaged comparison table still renders.
 	tbl, err := Table4(opts)

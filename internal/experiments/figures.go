@@ -7,6 +7,7 @@ import (
 	"utlb/internal/core"
 	"utlb/internal/hostos"
 	"utlb/internal/nicsim"
+	"utlb/internal/parallel"
 	"utlb/internal/sim"
 	"utlb/internal/stats"
 	"utlb/internal/tlbcache"
@@ -26,34 +27,41 @@ func Fig7(opts Options) (*stats.Table, error) {
 	tbl := stats.NewTable(
 		"Figure 7: miss-rate breakdown, % of NI references (infinite host memory, no prefetch)",
 		"application", "cache", "compulsory", "capacity", "conflict", "total")
-	cache := map[string]trace.Trace{}
+	apps := opts.apps()
 	all := scaledSizes(opts)
 	sizes := []int{all[0], all[2], all[3], all[4]} // 1K, 4K, 8K, 16K
 
-	for _, app := range opts.apps() {
-		tr, err := opts.traceFor(app, cache)
+	rows, err := parallel.Map(len(apps)*len(sizes), func(i int) ([]string, error) {
+		app := apps[i/len(sizes)]
+		si := i % len(sizes)
+		entries := sizes[si]
+		tr, err := opts.traceFor(app)
 		if err != nil {
 			return nil, err
 		}
-		for i, entries := range sizes {
-			cfg := sim.DefaultConfig()
-			cfg.CacheEntries = entries
-			cfg.Seed = opts.Seed
-			res, err := sim.Run(tr, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig7 %s %d: %w", app, entries, err)
-			}
-			label := ""
-			if i == 0 {
-				label = app
-			}
-			pct := func(n int64) string {
-				return fmt.Sprintf("%.1f", 100*float64(n)/float64(res.NIRefs))
-			}
-			tbl.AddRow(label, sizeLabel(entries),
-				pct(res.Compulsory), pct(res.Capacity), pct(res.Conflict),
-				pct(res.NIMisses))
+		cfg := sim.DefaultConfig()
+		cfg.CacheEntries = entries
+		cfg.Seed = opts.Seed
+		res, err := sim.Run(tr, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s %d: %w", app, entries, err)
 		}
+		label := ""
+		if si == 0 {
+			label = app
+		}
+		pct := func(n int64) string {
+			return fmt.Sprintf("%.1f", 100*float64(n)/float64(res.NIRefs))
+		}
+		return []string{label, sizeLabel(entries),
+			pct(res.Compulsory), pct(res.Capacity), pct(res.Conflict),
+			pct(res.NIMisses)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tbl.AddRow(row...)
 	}
 	return tbl, nil
 }
@@ -72,26 +80,35 @@ func Fig8(opts Options) (*stats.Figure, *stats.Figure, error) {
 	costFig := stats.NewFigure(
 		"Figure 8b: average NIC lookup cost vs prefetch size (radix)",
 		"entries fetched per miss", "lookup cost (us)")
-	cache := map[string]trace.Trace{}
-	tr, err := opts.traceFor("radix", cache)
+	tr, err := opts.traceFor("radix")
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, entries := range scaledSizes(opts) {
+	sizes := scaledSizes(opts)
+	results, err := parallel.Map(len(sizes)*len(fig8Prefetches), func(i int) (sim.Result, error) {
+		entries := sizes[i/len(fig8Prefetches)]
+		prefetch := fig8Prefetches[i%len(fig8Prefetches)]
+		cfg := sim.DefaultConfig()
+		cfg.CacheEntries = entries
+		cfg.Prefetch = prefetch
+		// §6.4: "in order for prefetching to work well, translations
+		// for contiguous application pages must be available during
+		// a miss" — sequential pre-pinning (§6.5) provides them.
+		cfg.Prepin = prefetch
+		cfg.Seed = opts.Seed
+		res, err := sim.Run(tr, cfg)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("fig8 %d/%d: %w", entries, prefetch, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for si, entries := range sizes {
 		series := sizeLabel(entries) + " entries"
-		for _, prefetch := range fig8Prefetches {
-			cfg := sim.DefaultConfig()
-			cfg.CacheEntries = entries
-			cfg.Prefetch = prefetch
-			// §6.4: "in order for prefetching to work well, translations
-			// for contiguous application pages must be available during
-			// a miss" — sequential pre-pinning (§6.5) provides them.
-			cfg.Prepin = prefetch
-			cfg.Seed = opts.Seed
-			res, err := sim.Run(tr, cfg)
-			if err != nil {
-				return nil, nil, fmt.Errorf("fig8 %d/%d: %w", entries, prefetch, err)
-			}
+		for pi, prefetch := range fig8Prefetches {
+			res := results[si*len(fig8Prefetches)+pi]
 			missFig.Series(series).Add(float64(prefetch), res.NIMissRatio())
 			costFig.Series(series).Add(float64(prefetch), res.AvgNICLookupCost().Micros())
 		}
@@ -108,18 +125,18 @@ func AblationPerProcess(opts Options) (*stats.Table, error) {
 	tbl := stats.NewTable(
 		"Ablation: per-process UTLB vs Shared UTLB-Cache (per lookup)",
 		"application", "design", "table/cache entries", "check misses", "unpins", "host time us")
-	cache := map[string]trace.Trace{}
+	apps := opts.apps()
+	// Shared budget: the paper's 32 KB of SRAM = 8K entries total,
+	// scaled with the workload.
+	totalEntries := scaledSizes(opts)[3]
+	perProcEntries := totalEntries / workload.ProcsPerNode
 
-	for _, app := range opts.apps() {
-		tr, err := opts.traceFor(app, cache)
+	rows, err := parallel.Map(len(apps), func(i int) ([][]string, error) {
+		app := apps[i]
+		tr, err := opts.traceFor(app)
 		if err != nil {
 			return nil, err
 		}
-		// Shared budget: the paper's 32 KB of SRAM = 8K entries total,
-		// scaled with the workload.
-		totalEntries := scaledSizes(opts)[3]
-		perProcEntries := totalEntries / workload.ProcsPerNode
-
 		// Shared UTLB-Cache run.
 		cfg := sim.DefaultConfig()
 		cfg.CacheEntries = totalEntries
@@ -128,20 +145,29 @@ func AblationPerProcess(opts Options) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tbl.AddRow(app, "shared-cache", fmt.Sprintf("%d", totalEntries),
-			fmt.Sprintf("%.2f", shared.CheckMissRate()),
-			fmt.Sprintf("%.2f", shared.UnpinRate()),
-			fmt.Sprintf("%.1f", shared.HostTime.Micros()/float64(shared.Lookups)))
-
 		// Per-process run.
 		pp, err := runPerProcess(tr, perProcEntries, opts.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("per-process %s: %w", app, err)
 		}
-		tbl.AddRow("", "per-process", fmt.Sprintf("%dx%d", workload.ProcsPerNode, perProcEntries),
-			fmt.Sprintf("%.2f", pp.CheckMissRate()),
-			fmt.Sprintf("%.2f", pp.UnpinRate()),
-			fmt.Sprintf("%.1f", pp.HostTime.Micros()/float64(pp.Lookups)))
+		return [][]string{
+			{app, "shared-cache", fmt.Sprintf("%d", totalEntries),
+				fmt.Sprintf("%.2f", shared.CheckMissRate()),
+				fmt.Sprintf("%.2f", shared.UnpinRate()),
+				fmt.Sprintf("%.1f", shared.HostTime.Micros()/float64(shared.Lookups))},
+			{"", "per-process", fmt.Sprintf("%dx%d", workload.ProcsPerNode, perProcEntries),
+				fmt.Sprintf("%.2f", pp.CheckMissRate()),
+				fmt.Sprintf("%.2f", pp.UnpinRate()),
+				fmt.Sprintf("%.1f", pp.HostTime.Micros()/float64(pp.Lookups))},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, pair := range rows {
+		for _, row := range pair {
+			tbl.AddRow(row...)
+		}
 	}
 	return tbl, nil
 }
@@ -150,8 +176,11 @@ func AblationPerProcess(opts Options) (*stats.Table, error) {
 // table per process).
 func runPerProcess(tr trace.Trace, entries int, seed int64) (sim.Result, error) {
 	var res sim.Result
-	sorted := append(trace.Trace(nil), tr...)
-	sorted.SortByTime()
+	sorted := tr
+	if !tr.IsSortedByTime() {
+		sorted = append(trace.Trace(nil), tr...)
+		sorted.SortByTime()
+	}
 
 	frames := int64(sorted.Footprint())*2 + 8192
 	host := hostos.New(0, frames*units.PageSize, hostos.DefaultCosts())

@@ -7,6 +7,7 @@ import (
 	"utlb/internal/core"
 	"utlb/internal/hostos"
 	"utlb/internal/nicsim"
+	"utlb/internal/parallel"
 	"utlb/internal/stats"
 	"utlb/internal/tlbcache"
 	"utlb/internal/units"
@@ -56,7 +57,10 @@ func Table1() *stats.Table {
 		"num pages", "check min", "check max", "pin", "unpin")
 	costs := hostos.DefaultCosts()
 
-	for _, pages := range pageCounts {
+	// Each page count measures against its own fresh clocks and hosts,
+	// so the sweep fans out on the worker pool.
+	rows, err := parallel.Map(len(pageCounts), func(pi int) ([]string, error) {
+		pages := pageCounts[pi]
 		// Check: sweep start positions 0..63 within a fully pinned
 		// region and record the extremes.
 		var minT, maxT units.Time = 1 << 62, 0
@@ -96,11 +100,17 @@ func Table1() *stats.Table {
 		}
 		unpinT := host.Clock().Now() - t0
 
-		tbl.AddRow(fmt.Sprintf("%d", pages),
+		return []string{fmt.Sprintf("%d", pages),
 			fmt.Sprintf("%.1f", minT.Micros()),
 			fmt.Sprintf("%.1f", maxT.Micros()),
 			fmt.Sprintf("%.0f", pinT.Micros()),
-			fmt.Sprintf("%.0f", unpinT.Micros()))
+			fmt.Sprintf("%.0f", unpinT.Micros())}, nil
+	})
+	if err != nil {
+		panic(err) // measurement errors already panic above
+	}
+	for _, row := range rows {
+		tbl.AddRow(row...)
 	}
 	return tbl
 }
@@ -114,7 +124,10 @@ func Table2() *stats.Table {
 		"Table 2: UTLB overhead on the network interface (us)",
 		"num entries", "DMA cost", "total miss cost", "hit cost")
 
-	for _, entries := range pageCounts {
+	// Each entry count builds its own rig (host, NIC, clocks), so the
+	// sweep fans out on the worker pool.
+	rows, err := parallel.Map(len(pageCounts), func(pi int) ([]string, error) {
+		entries := pageCounts[pi]
 		rig, tr, err := newMicroRig(entries)
 		if err != nil {
 			panic(err)
@@ -142,10 +155,16 @@ func Table2() *stats.Table {
 		// DMA-only component, as the paper itemises it.
 		dma := rig.nic.Bus().Costs().EntryFetchCost(entries)
 
-		tbl.AddRow(fmt.Sprintf("%d", entries),
+		return []string{fmt.Sprintf("%d", entries),
 			fmt.Sprintf("%.1f", dma.Micros()),
 			fmt.Sprintf("%.1f", (missTotal-hit).Micros()),
-			fmt.Sprintf("%.1f", hit.Micros()))
+			fmt.Sprintf("%.1f", hit.Micros())}, nil
+	})
+	if err != nil {
+		panic(err) // measurement errors already panic above
+	}
+	for _, row := range rows {
+		tbl.AddRow(row...)
 	}
 	return tbl
 }

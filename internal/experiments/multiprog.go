@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"utlb/internal/parallel"
 	"utlb/internal/sim"
 	"utlb/internal/stats"
 	"utlb/internal/workload"
@@ -29,7 +30,8 @@ func AblationMultiprog(opts Options) (*stats.Table, error) {
 
 	entries := scaledSizes(opts)[3] // 8K at full scale
 
-	for _, pair := range pairs {
+	rows, err := parallel.Map(len(pairs), func(i int) ([]string, error) {
+		pair := pairs[i]
 		specA, err := workload.ByName(pair[0])
 		if err != nil {
 			return nil, err
@@ -44,13 +46,13 @@ func AblationMultiprog(opts Options) (*stats.Table, error) {
 
 		// Each alone at half scale (matching its share of the mix).
 		half := opts.scale() / 2
-		aAlone, err := sim.Run(specA.Generate(workload.Config{
+		aAlone, err := sim.Run(specA.GenerateCached(workload.Config{
 			Node: 0, FirstPID: 1, Seed: opts.Seed, Scale: half,
 		}), cfg)
 		if err != nil {
 			return nil, fmt.Errorf("multiprog %s alone: %w", pair[0], err)
 		}
-		bAlone, err := sim.Run(specB.Generate(workload.Config{
+		bAlone, err := sim.Run(specB.GenerateCached(workload.Config{
 			Node: 0, FirstPID: 1, Seed: opts.Seed, Scale: half,
 		}), cfg)
 		if err != nil {
@@ -69,11 +71,17 @@ func AblationMultiprog(opts Options) (*stats.Table, error) {
 			return nil, err
 		}
 
-		tbl.AddRow(pair[0]+"+"+pair[1],
+		return []string{pair[0] + "+" + pair[1],
 			fmt.Sprintf("%.2f", aAlone.NIMissRatio()),
 			fmt.Sprintf("%.2f", bAlone.NIMissRatio()),
 			fmt.Sprintf("%.2f", mixed.NIMissRatio()),
-			fmt.Sprintf("%.2f", mixedNoOff.NIMissRatio()))
+			fmt.Sprintf("%.2f", mixedNoOff.NIMissRatio())}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tbl.AddRow(row...)
 	}
 	return tbl, nil
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"utlb/internal/parallel"
 	"utlb/internal/sim"
 	"utlb/internal/stats"
 	"utlb/internal/svm"
@@ -50,7 +51,10 @@ func SVMPipeline(opts Options) (*stats.Table, error) {
 		"SVM pipeline: live kernels -> captured trace -> trace-driven comparison (1K-entry cache)",
 		"kernel", "trace ops", "footprint", "UTLB miss rate", "UTLB unpins", "Intr unpins", "UTLB/Intr lookup cost us")
 
-	for _, k := range kernels {
+	// Each kernel runs on its own simulated cluster, so the pipeline
+	// fans out per kernel on the worker pool.
+	rows, err := parallel.Map(len(kernels), func(ki int) ([]string, error) {
+		k := kernels[ki]
 		sys, err := svm.New(svm.Config{Peers: 4, RegionPages: 64})
 		if err != nil {
 			return nil, err
@@ -71,13 +75,19 @@ func SVMPipeline(opts Options) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tbl.AddRow(k.name,
+		return []string{k.name,
 			fmt.Sprintf("%d", tr.Lookups()),
 			fmt.Sprintf("%d", tr.Footprint()),
 			fmt.Sprintf("%.2f", u.NIMissRate()),
 			fmt.Sprintf("%.2f", u.UnpinRate()),
 			fmt.Sprintf("%.2f", i.UnpinRate()),
-			fmt.Sprintf("%.1f/%.1f", u.AvgLookupCost().Micros(), i.AvgLookupCost().Micros()))
+			fmt.Sprintf("%.1f/%.1f", u.AvgLookupCost().Micros(), i.AvgLookupCost().Micros())}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tbl.AddRow(row...)
 	}
 	return tbl, nil
 }

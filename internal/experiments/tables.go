@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"utlb/internal/core"
+	"utlb/internal/parallel"
 	"utlb/internal/sim"
 	"utlb/internal/stats"
 	"utlb/internal/trace"
@@ -45,9 +46,10 @@ func Table3(opts Options) (*stats.Table, error) {
 	tbl := stats.NewTable(
 		"Table 3: application problem size, communication footprint, lookups",
 		"application", "problem size", "footprint (4KB pages)", "# translation lookups")
-	cache := map[string]trace.Trace{}
-	for _, app := range opts.apps() {
-		tr, err := opts.traceFor(app, cache)
+	apps := opts.apps()
+	rows, err := parallel.Map(len(apps), func(i int) ([]string, error) {
+		app := apps[i]
+		tr, err := opts.traceFor(app)
 		if err != nil {
 			return nil, err
 		}
@@ -55,16 +57,24 @@ func Table3(opts Options) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tbl.AddRow(app, spec.ProblemSize,
+		return []string{app, spec.ProblemSize,
 			fmt.Sprintf("%d", tr.Footprint()),
-			fmt.Sprintf("%d", tr.Lookups()))
+			fmt.Sprintf("%d", tr.Lookups())}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tbl.AddRow(row...)
 	}
 	return tbl, nil
 }
 
 // comparisonTable renders the Table 4/5 layout: per cache size and
 // application, check misses / NI misses / unpins per lookup for UTLB
-// and the interrupt baseline.
+// and the interrupt baseline. The (cache size x application) grid fans
+// out on the worker pool; each cell is itself a node-averaged pair of
+// simulation runs.
 func comparisonTable(opts Options, title string, pinLimitPages int) (*stats.Table, error) {
 	apps := opts.apps()
 	header := []string{"cache", "characteristic (per lookup)"}
@@ -72,39 +82,45 @@ func comparisonTable(opts Options, title string, pinLimitPages int) (*stats.Tabl
 		header = append(header, app+" UTLB", app+" Intr")
 	}
 	tbl := stats.NewTable(title, header...)
-	cache := map[string][]trace.Trace{}
+	sizes := scaledSizes(opts)
 
-	for _, entries := range scaledSizes(opts) {
+	cells, err := parallel.Map(len(sizes)*len(apps), func(i int) ([]float64, error) {
+		entries := sizes[i/len(apps)]
+		app := apps[i%len(apps)]
+		// Per-node averages, as the paper reports (§6.2).
+		return opts.avgOver(app, func(tr trace.Trace) ([]float64, error) {
+			cfg := sim.DefaultConfig()
+			cfg.CacheEntries = entries
+			cfg.PinLimitPages = pinLimitPages
+			cfg.Seed = opts.Seed
+			u, err := sim.Run(tr, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s UTLB %d: %w", app, entries, err)
+			}
+			cfg.Mechanism = sim.Interrupt
+			i, err := sim.Run(tr, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s Intr %d: %w", app, entries, err)
+			}
+			return []float64{
+				u.CheckMissRate(),
+				u.NIMissRate(), i.NIMissRate(),
+				u.UnpinRate(), i.UnpinRate(),
+			}, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for si, entries := range sizes {
 		rows := [3][]string{
 			{sizeLabel(entries), "check misses"},
 			{"", "NI misses"},
 			{"", "unpins"},
 		}
-		for _, app := range apps {
-			// Per-node averages, as the paper reports (§6.2).
-			avg, err := opts.avgOver(app, cache, func(tr trace.Trace) ([]float64, error) {
-				cfg := sim.DefaultConfig()
-				cfg.CacheEntries = entries
-				cfg.PinLimitPages = pinLimitPages
-				cfg.Seed = opts.Seed
-				u, err := sim.Run(tr, cfg)
-				if err != nil {
-					return nil, fmt.Errorf("%s UTLB %d: %w", app, entries, err)
-				}
-				cfg.Mechanism = sim.Interrupt
-				i, err := sim.Run(tr, cfg)
-				if err != nil {
-					return nil, fmt.Errorf("%s Intr %d: %w", app, entries, err)
-				}
-				return []float64{
-					u.CheckMissRate(),
-					u.NIMissRate(), i.NIMissRate(),
-					u.UnpinRate(), i.UnpinRate(),
-				}, nil
-			})
-			if err != nil {
-				return nil, err
-			}
+		for ai := range apps {
+			avg := cells[si*len(apps)+ai]
 			rows[0] = append(rows[0], fmt.Sprintf("%.2f", avg[0]), "-")
 			rows[1] = append(rows[1], fmt.Sprintf("%.2f", avg[1]), fmt.Sprintf("%.2f", avg[2]))
 			rows[2] = append(rows[2], fmt.Sprintf("%.2f", avg[3]), fmt.Sprintf("%.2f", avg[4]))
@@ -152,30 +168,40 @@ func Table6(opts Options) (*stats.Table, error) {
 	tbl := stats.NewTable(
 		"Table 6: average lookup cost, UTLB vs Intr (us; infinite host memory, no prefetch, index offsetting)",
 		"cache entries", "barnes UTLB", "barnes Intr", "fft UTLB", "fft Intr")
-	cache := map[string]trace.Trace{}
-	sizes := scaledSizes(opts)
-	for _, entries := range []int{sizes[0], sizes[2], sizes[4]} {
+	all := scaledSizes(opts)
+	sizes := []int{all[0], all[2], all[4]}
+
+	cells, err := parallel.Map(len(sizes)*len(apps), func(i int) ([]string, error) {
+		entries := sizes[i/len(apps)]
+		app := apps[i%len(apps)]
+		tr, err := opts.traceFor(app)
+		if err != nil {
+			return nil, err
+		}
+		cfg := sim.DefaultConfig()
+		cfg.CacheEntries = entries
+		cfg.Seed = opts.Seed
+		u, err := sim.Run(tr, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Mechanism = sim.Interrupt
+		ir, err := sim.Run(tr, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []string{
+			fmt.Sprintf("%.1f", u.AvgLookupCost().Micros()),
+			fmt.Sprintf("%.1f", ir.AvgLookupCost().Micros()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, entries := range sizes {
 		row := []string{sizeLabel(entries)}
-		for _, app := range apps {
-			tr, err := opts.traceFor(app, cache)
-			if err != nil {
-				return nil, err
-			}
-			cfg := sim.DefaultConfig()
-			cfg.CacheEntries = entries
-			cfg.Seed = opts.Seed
-			u, err := sim.Run(tr, cfg)
-			if err != nil {
-				return nil, err
-			}
-			cfg.Mechanism = sim.Interrupt
-			i, err := sim.Run(tr, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row,
-				fmt.Sprintf("%.1f", u.AvgLookupCost().Micros()),
-				fmt.Sprintf("%.1f", i.AvgLookupCost().Micros()))
+		for ai := range apps {
+			row = append(row, cells[si*len(apps)+ai]...)
 		}
 		tbl.AddRow(row...)
 	}
@@ -195,8 +221,41 @@ func Table7(opts Options) (*stats.Table, error) {
 	tbl := stats.NewTable(
 		"Table 7: amortized pin/unpin cost per lookup (us; 16 MB pin limit per process)",
 		header...)
-	cache := map[string]trace.Trace{}
 	limit := scaleLimit(4096, opts) // 16 MB of 4 KB pages per process
+
+	// One run per (app, prepin) serves both pin and unpin rows.
+	prepins := []int{1, 16}
+	runs, err := parallel.Map(len(apps)*len(prepins), func(i int) (sim.Result, error) {
+		app := apps[i/len(prepins)]
+		prepin := prepins[i%len(prepins)]
+		tr, err := opts.traceFor(app)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Seed = opts.Seed
+		cfg.PinLimitPages = limit
+		cfg.Prepin = prepin
+		if opts.scale() < 1 {
+			cfg.CacheEntries = scaledSizes(opts)[3]
+		}
+		res, err := sim.Run(tr, cfg)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("table7 %s prepin=%d: %w", app, prepin, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	resultFor := func(app int, prepin int) sim.Result {
+		for pi, p := range prepins {
+			if p == prepin {
+				return runs[app*len(prepins)+pi]
+			}
+		}
+		panic("unknown prepin")
+	}
 
 	type rowKey struct {
 		label  string
@@ -209,33 +268,10 @@ func Table7(opts Options) (*stats.Table, error) {
 		{"unpin", 1, func(r sim.Result) float64 { return r.AmortizedUnpinCost().Micros() }},
 		{"unpin", 16, func(r sim.Result) float64 { return r.AmortizedUnpinCost().Micros() }},
 	}
-	// One run per (app, prepin) serves both pin and unpin rows.
-	results := map[string]map[int]sim.Result{}
-	for _, app := range apps {
-		tr, err := opts.traceFor(app, cache)
-		if err != nil {
-			return nil, err
-		}
-		results[app] = map[int]sim.Result{}
-		for _, prepin := range []int{1, 16} {
-			cfg := sim.DefaultConfig()
-			cfg.Seed = opts.Seed
-			cfg.PinLimitPages = limit
-			cfg.Prepin = prepin
-			if opts.scale() < 1 {
-				cfg.CacheEntries = scaledSizes(opts)[3]
-			}
-			res, err := sim.Run(tr, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("table7 %s prepin=%d: %w", app, prepin, err)
-			}
-			results[app][prepin] = res
-		}
-	}
 	for _, rk := range rows {
 		row := []string{rk.label, fmt.Sprintf("%d", rk.prepin)}
-		for _, app := range apps {
-			row = append(row, fmt.Sprintf("%.1f", rk.get(results[app][rk.prepin])))
+		for ai := range apps {
+			row = append(row, fmt.Sprintf("%.1f", rk.get(resultFor(ai, rk.prepin))))
 		}
 		tbl.AddRow(row...)
 	}
@@ -262,32 +298,42 @@ func Table8(opts Options) (*stats.Table, error) {
 	tbl := stats.NewTable(
 		"Table 8: overall miss rates in Shared UTLB-Cache (infinite host memory, no prefetch, index offsetting except direct-nohash)",
 		header...)
-	cache := map[string][]trace.Trace{}
+	sizes := scaledSizes(opts)
 
-	for _, entries := range scaledSizes(opts) {
+	cells, err := parallel.Map(len(sizes)*len(assocs)*len(apps), func(i int) (float64, error) {
+		entries := sizes[i/(len(assocs)*len(apps))]
+		a := assocs[i/len(apps)%len(assocs)]
+		app := apps[i%len(apps)]
+		avg, err := opts.avgOver(app, func(tr trace.Trace) ([]float64, error) {
+			cfg := sim.DefaultConfig()
+			cfg.CacheEntries = entries
+			cfg.Ways = a.ways
+			cfg.IndexOffset = a.offset
+			cfg.Seed = opts.Seed
+			res, err := sim.Run(tr, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("table8 %s %s %d: %w", app, a.label, entries, err)
+			}
+			return []float64{res.NIMissRatio()}, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		return avg[0], nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for si, entries := range sizes {
 		for ai, a := range assocs {
 			label := ""
 			if ai == 0 {
 				label = sizeLabel(entries)
 			}
 			row := []string{label, a.label}
-			for _, app := range apps {
-				avg, err := opts.avgOver(app, cache, func(tr trace.Trace) ([]float64, error) {
-					cfg := sim.DefaultConfig()
-					cfg.CacheEntries = entries
-					cfg.Ways = a.ways
-					cfg.IndexOffset = a.offset
-					cfg.Seed = opts.Seed
-					res, err := sim.Run(tr, cfg)
-					if err != nil {
-						return nil, fmt.Errorf("table8 %s %s %d: %w", app, a.label, entries, err)
-					}
-					return []float64{res.NIMissRatio()}, nil
-				})
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, fmt.Sprintf("%.2f", avg[0]))
+			for appi := range apps {
+				row = append(row, fmt.Sprintf("%.2f", cells[(si*len(assocs)+ai)*len(apps)+appi]))
 			}
 			tbl.AddRow(row...)
 		}
@@ -299,32 +345,39 @@ func Table8(opts Options) (*stats.Table, error) {
 // §3.4 under memory pressure — the study the paper leaves as future
 // work ("we only used LRU policy in this study").
 func AblationPolicies(opts Options) (*stats.Table, error) {
+	apps := opts.apps()
 	tbl := stats.NewTable(
 		"Ablation: replacement policies under a 4 MB pin quota (unpins per lookup / avg lookup cost us)",
-		append([]string{"policy"}, opts.apps()...)...)
-	cache := map[string]trace.Trace{}
+		append([]string{"policy"}, apps...)...)
 	limit := scaleLimit(1024, opts)
-	for _, pol := range []core.PolicyKind{core.LRU, core.MRU, core.LFU, core.MFU, core.Random} {
-		row := []string{pol.String()}
-		for _, app := range opts.apps() {
-			tr, err := opts.traceFor(app, cache)
-			if err != nil {
-				return nil, err
-			}
-			cfg := sim.DefaultConfig()
-			cfg.Policy = pol
-			cfg.Seed = opts.Seed
-			cfg.PinLimitPages = limit
-			if opts.scale() < 1 {
-				cfg.CacheEntries = scaledSizes(opts)[3]
-			}
-			res, err := sim.Run(tr, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("policies %s %s: %w", pol, app, err)
-			}
-			row = append(row, fmt.Sprintf("%.2f/%.1f",
-				res.UnpinRate(), res.AvgLookupCost().Micros()))
+	policies := []core.PolicyKind{core.LRU, core.MRU, core.LFU, core.MFU, core.Random}
+
+	cells, err := parallel.Map(len(policies)*len(apps), func(i int) (string, error) {
+		pol := policies[i/len(apps)]
+		app := apps[i%len(apps)]
+		tr, err := opts.traceFor(app)
+		if err != nil {
+			return "", err
 		}
+		cfg := sim.DefaultConfig()
+		cfg.Policy = pol
+		cfg.Seed = opts.Seed
+		cfg.PinLimitPages = limit
+		if opts.scale() < 1 {
+			cfg.CacheEntries = scaledSizes(opts)[3]
+		}
+		res, err := sim.Run(tr, cfg)
+		if err != nil {
+			return "", fmt.Errorf("policies %s %s: %w", pol, app, err)
+		}
+		return fmt.Sprintf("%.2f/%.1f", res.UnpinRate(), res.AvgLookupCost().Micros()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pol := range policies {
+		row := []string{pol.String()}
+		row = append(row, cells[pi*len(apps):(pi+1)*len(apps)]...)
 		tbl.AddRow(row...)
 	}
 	return tbl, nil

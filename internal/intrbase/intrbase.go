@@ -90,6 +90,11 @@ func (m *Mechanism) Register(proc *hostos.Process) error {
 // Stats returns the cumulative counters.
 func (m *Mechanism) Stats() Stats { return m.stats }
 
+// Misses returns the cumulative NI-cache miss count without copying
+// the full Stats struct — the simulator reads it twice per translated
+// page.
+func (m *Mechanism) Misses() int64 { return m.stats.Misses }
+
 // Cache returns the NIC translation cache.
 func (m *Mechanism) Cache() *tlbcache.Cache { return m.cache }
 

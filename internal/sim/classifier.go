@@ -15,26 +15,38 @@ import (
 //
 // The shadow fully-associative cache is updated on every reference,
 // hit or miss, so its LRU state tracks the reference stream exactly.
+//
+// Layout: this sits on the simulator's per-page inner loop, so the
+// bookkeeping is one map lookup and zero per-key heap allocations.
+// Every key ever seen owns one slot in a grow-only slab of
+// index-linked nodes; the slot doubles as the "seen" record (slots are
+// never reclaimed, only unlinked from the LRU list on eviction), which
+// replaces the old design's second map, per-key node allocation, and
+// eviction-time map delete.
 type classifier struct {
 	capacity int
-	seen     map[tlbcache.Key]bool
-	// Fully-associative LRU shadow: map + intrusive list.
-	nodes map[tlbcache.Key]*lruNode
-	head  *lruNode // most recent
-	tail  *lruNode // least recent
-	size  int
+	slots    map[tlbcache.Key]int32
+	nodes    []clsNode
+	head     int32 // most recent, nilSlot when empty
+	tail     int32 // least recent
+	size     int   // resident nodes
 }
 
-type lruNode struct {
+type clsNode struct {
 	key        tlbcache.Key
-	prev, next *lruNode
+	prev, next int32
+	resident   bool
 }
+
+const nilSlot = int32(-1)
 
 func newClassifier(capacity int) *classifier {
 	return &classifier{
 		capacity: capacity,
-		seen:     make(map[tlbcache.Key]bool),
-		nodes:    make(map[tlbcache.Key]*lruNode),
+		slots:    make(map[tlbcache.Key]int32, capacity),
+		nodes:    make([]clsNode, 0, capacity),
+		head:     nilSlot,
+		tail:     nilSlot,
 	}
 }
 
@@ -42,8 +54,7 @@ func newClassifier(capacity int) *classifier {
 // attributes it in res.
 func (c *classifier) classify(res *Result, pid units.ProcID, vpn units.VPN, miss bool) {
 	key := tlbcache.Key{PID: pid, VPN: vpn}
-	first := !c.seen[key]
-	shadowHit := c.touch(key)
+	first, shadowHit := c.touch(key)
 	if !miss {
 		return
 	}
@@ -57,57 +68,63 @@ func (c *classifier) classify(res *Result, pid units.ProcID, vpn units.VPN, miss
 	}
 }
 
-// touch references key in the shadow cache, reporting whether it hit,
-// and marks the key seen.
-func (c *classifier) touch(key tlbcache.Key) bool {
-	c.seen[key] = true
-	if n, ok := c.nodes[key]; ok {
-		c.moveToFront(n)
-		return true
+// touch references key in the shadow cache, reporting whether this is
+// the key's first-ever reference and whether the shadow cache hit.
+func (c *classifier) touch(key tlbcache.Key) (first, shadowHit bool) {
+	slot, seen := c.slots[key]
+	if seen && c.nodes[slot].resident {
+		c.moveToFront(slot)
+		return false, true
 	}
-	n := &lruNode{key: key}
-	c.nodes[key] = n
-	c.pushFront(n)
+	if !seen {
+		slot = int32(len(c.nodes))
+		c.nodes = append(c.nodes, clsNode{key: key})
+		c.slots[key] = slot
+	}
+	c.nodes[slot].resident = true
+	c.pushFront(slot)
 	c.size++
 	if c.size > c.capacity {
 		evict := c.tail
-		c.remove(evict)
-		delete(c.nodes, evict.key)
+		c.unlink(evict)
+		c.nodes[evict].resident = false
 		c.size--
 	}
-	return false
+	return !seen, false
 }
 
-func (c *classifier) pushFront(n *lruNode) {
+func (c *classifier) pushFront(slot int32) {
+	n := &c.nodes[slot]
 	n.next = c.head
-	n.prev = nil
-	if c.head != nil {
-		c.head.prev = n
+	n.prev = nilSlot
+	if c.head != nilSlot {
+		c.nodes[c.head].prev = slot
 	}
-	c.head = n
-	if c.tail == nil {
-		c.tail = n
+	c.head = slot
+	if c.tail == nilSlot {
+		c.tail = slot
 	}
 }
 
-func (c *classifier) remove(n *lruNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (c *classifier) unlink(slot int32) {
+	n := &c.nodes[slot]
+	if n.prev != nilSlot {
+		c.nodes[n.prev].next = n.next
 	} else {
 		c.head = n.next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if n.next != nilSlot {
+		c.nodes[n.next].prev = n.prev
 	} else {
 		c.tail = n.prev
 	}
-	n.prev, n.next = nil, nil
+	n.prev, n.next = nilSlot, nilSlot
 }
 
-func (c *classifier) moveToFront(n *lruNode) {
-	if c.head == n {
+func (c *classifier) moveToFront(slot int32) {
+	if c.head == slot {
 		return
 	}
-	c.remove(n)
-	c.pushFront(n)
+	c.unlink(slot)
+	c.pushFront(slot)
 }

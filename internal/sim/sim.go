@@ -78,6 +78,35 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate reports whether the configuration can drive a run. Run
+// rejects invalid configurations rather than silently substituting
+// defaults, so an explicitly-set Mechanism or Policy is never
+// discarded; start from DefaultConfig() and override fields.
+func (cfg Config) Validate() error {
+	if cfg.Mechanism != UTLB && cfg.Mechanism != Interrupt {
+		return fmt.Errorf("sim: unknown mechanism %d", cfg.Mechanism)
+	}
+	cacheCfg := tlbcache.Config{Entries: cfg.CacheEntries, Ways: cfg.Ways, IndexOffset: cfg.IndexOffset}
+	if err := cacheCfg.Validate(); err != nil {
+		return fmt.Errorf("sim: %w (zero-value Config is invalid; start from DefaultConfig())", err)
+	}
+	if cfg.Prefetch < 1 {
+		return fmt.Errorf("sim: prefetch width %d < 1 (1 = no prefetch)", cfg.Prefetch)
+	}
+	if cfg.Prepin < 1 {
+		return fmt.Errorf("sim: pre-pin width %d < 1 (1 = no pre-pinning)", cfg.Prepin)
+	}
+	if cfg.PinLimitPages < 0 {
+		return fmt.Errorf("sim: negative pin limit %d", cfg.PinLimitPages)
+	}
+	switch cfg.Policy {
+	case core.LRU, core.MRU, core.LFU, core.MFU, core.Random:
+	default:
+		return fmt.Errorf("sim: unknown replacement policy %d", cfg.Policy)
+	}
+	return nil
+}
+
 // Result carries the measured statistics of one run.
 type Result struct {
 	Config  Config
@@ -168,11 +197,17 @@ func rate(n, total int64) float64 {
 // processes run on one simulated node (the paper reports per-node
 // averages, and nodes are homogeneous).
 func Run(tr trace.Trace, cfg Config) (Result, error) {
-	if cfg.CacheEntries == 0 {
-		cfg = DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		return Result{Config: cfg}, err
 	}
-	sorted := append(trace.Trace(nil), tr...)
-	sorted.SortByTime()
+	// Generated and merged traces are already serialised; a stable sort
+	// would be a no-op, so skip the copy entirely and read tr in place
+	// (Run never mutates the trace).
+	sorted := tr
+	if !tr.IsSortedByTime() {
+		sorted = append(trace.Trace(nil), tr...)
+		sorted.SortByTime()
+	}
 
 	// Size host memory for the worst case: every distinct page
 	// resident, plus pages that sequential pre-pinning may touch in
@@ -220,9 +255,9 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 			}
 			pages := units.PagesSpanned(rec.VA, int(rec.Bytes))
 			first := rec.VA.PageOf()
+			res.NIRefs += int64(pages)
 			for i := 0; i < pages; i++ {
 				vpn := first + units.VPN(i)
-				res.NIRefs++
 				_, info := translator.Translate(rec.PID, vpn)
 				cls.classify(&res, rec.PID, vpn, !info.Hit)
 			}
@@ -256,14 +291,14 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 		for _, rec := range sorted {
 			pages := units.PagesSpanned(rec.VA, int(rec.Bytes))
 			first := rec.VA.PageOf()
+			res.NIRefs += int64(pages)
 			for i := 0; i < pages; i++ {
 				vpn := first + units.VPN(i)
-				res.NIRefs++
-				missBefore := mech.Stats().Misses
+				missBefore := mech.Misses()
 				if _, err := mech.Translate(rec.PID, vpn); err != nil {
 					return res, fmt.Errorf("sim: translate %v/%#x: %w", rec.PID, vpn, err)
 				}
-				cls.classify(&res, rec.PID, vpn, mech.Stats().Misses > missBefore)
+				cls.classify(&res, rec.PID, vpn, mech.Misses() > missBefore)
 			}
 		}
 		st := mech.Stats()
@@ -272,9 +307,6 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 		res.Pins = st.PagesPinned
 		res.Unpins = st.PagesUnpinned
 		res.PinTime = st.HandlerTime
-
-	default:
-		return res, fmt.Errorf("sim: unknown mechanism %d", cfg.Mechanism)
 	}
 
 	res.HostTime = host.Clock().Now()

@@ -256,14 +256,73 @@ func TestRatesAndZeroDivision(t *testing.T) {
 	}
 }
 
-func TestRunEmptyConfigUsesDefault(t *testing.T) {
+func TestRunRejectsInvalidConfig(t *testing.T) {
 	tr := trace.Trace{{Time: 0, PID: 1, VA: 0, Bytes: 4096}}
-	res, err := Run(tr, Config{})
+	// The zero config used to silently become DefaultConfig(),
+	// discarding explicitly-set fields like Mechanism; now it errors.
+	if _, err := Run(tr, Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	bad := []func(c *Config){
+		func(c *Config) { c.CacheEntries = 0 },
+		func(c *Config) { c.CacheEntries = 3000 }, // not a power of two
+		func(c *Config) { c.Ways = 3 },
+		func(c *Config) { c.Prefetch = 0 },
+		func(c *Config) { c.Prepin = -1 },
+		func(c *Config) { c.PinLimitPages = -4 },
+		func(c *Config) { c.Mechanism = Mechanism(9) },
+		func(c *Config) { c.Policy = core.PolicyKind(99) },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config validated: %+v", i, c)
+		}
+		if _, err := Run(tr, c); err == nil {
+			t.Errorf("case %d: Run accepted invalid config", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestRunDoesNotMutateUnsortedInput(t *testing.T) {
+	tr := trace.Trace{
+		{Time: 100, PID: 1, VA: 0x2000, Bytes: 4096},
+		{Time: 0, PID: 1, VA: 0x1000, Bytes: 4096},
+	}
+	if _, err := Run(tr, cfg(UTLB, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if tr[0].Time != 100 || tr[1].Time != 0 {
+		t.Error("Run reordered the caller's trace")
+	}
+}
+
+func TestRunSortedFastPathMatchesSorted(t *testing.T) {
+	// An unsorted trace (copy+sort path) and its pre-sorted equivalent
+	// (in-place path) must produce identical results.
+	tr := smallTrace(t, "radix", 0.05)
+	shuffled := append(trace.Trace(nil), tr...)
+	for i := len(shuffled) - 1; i > 0; i-- {
+		j := (i * 7919) % (i + 1)
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	if shuffled.IsSortedByTime() {
+		t.Fatal("shuffle produced a sorted trace")
+	}
+	a, err := Run(tr, cfg(UTLB, 256))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Config.CacheEntries != 8192 {
-		t.Errorf("default not applied: %+v", res.Config)
+	b, err := Run(shuffled, cfg(UTLB, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("sorted fast path diverged:\n%+v\n%+v", a, b)
 	}
 }
 

@@ -53,19 +53,35 @@ type Record struct {
 // Trace is a sequence of records.
 type Trace []Record
 
-// SortByTime serialises the trace by timestamp, breaking ties by
+// timeLess is the serialisation order: timestamp, breaking ties by
 // (node, pid) for determinism — the paper's "time stamps are used to
 // serialize the traces".
+func timeLess(a, b Record) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.PID < b.PID
+}
+
+// SortByTime serialises the trace in timeLess order.
 func (t Trace) SortByTime() {
-	sort.SliceStable(t, func(i, j int) bool {
-		if t[i].Time != t[j].Time {
-			return t[i].Time < t[j].Time
+	sort.SliceStable(t, func(i, j int) bool { return timeLess(t[i], t[j]) })
+}
+
+// IsSortedByTime reports whether the trace is already serialised in
+// SortByTime order; a stable sort of such a trace is a no-op, letting
+// consumers skip the copy+sort entirely. Generated and merged traces
+// are sorted by construction.
+func (t Trace) IsSortedByTime() bool {
+	for i := 1; i < len(t); i++ {
+		if timeLess(t[i], t[i-1]) {
+			return false
 		}
-		if t[i].Node != t[j].Node {
-			return t[i].Node < t[j].Node
-		}
-		return t[i].PID < t[j].PID
-	})
+	}
+	return true
 }
 
 // Merge combines traces and serialises the result by timestamp.

@@ -177,3 +177,31 @@ func TestBinaryRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestIsSortedByTime(t *testing.T) {
+	sorted := Trace{
+		{Time: 1, Node: 0, PID: 1},
+		{Time: 1, Node: 0, PID: 2},
+		{Time: 1, Node: 1, PID: 1},
+		{Time: 5, Node: 0, PID: 1},
+	}
+	if !sorted.IsSortedByTime() {
+		t.Error("sorted trace reported unsorted")
+	}
+	if !(Trace{}).IsSortedByTime() || !(Trace{{Time: 9}}).IsSortedByTime() {
+		t.Error("trivial traces reported unsorted")
+	}
+	for name, tr := range map[string]Trace{
+		"time": {{Time: 5}, {Time: 1}},
+		"node": {{Time: 1, Node: 2}, {Time: 1, Node: 1}},
+		"pid":  {{Time: 1, Node: 0, PID: 2}, {Time: 1, Node: 0, PID: 1}},
+	} {
+		if tr.IsSortedByTime() {
+			t.Errorf("%s-unsorted trace reported sorted", name)
+		}
+		tr.SortByTime()
+		if !tr.IsSortedByTime() {
+			t.Errorf("%s: SortByTime left trace unsorted", name)
+		}
+	}
+}

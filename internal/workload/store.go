@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"sync"
+
+	"utlb/internal/trace"
+)
+
+// The process-wide trace store. Generating a paper-scale trace costs
+// milliseconds and every experiment used to regenerate its own copy;
+// the store memoises generation per (app, node, first PID, seed,
+// scale) so `utlbsim all` synthesises each workload trace exactly
+// once, and concurrent experiments asking for the same trace share one
+// generation (single-flight via sync.Once).
+//
+// Stored traces are shared, so callers must treat them as read-only;
+// sim.Run already never mutates its input.
+
+type traceKey struct {
+	app      string
+	node     int64
+	firstPID int64
+	seed     int64
+	scale    float64
+}
+
+type traceEntry struct {
+	once sync.Once
+	tr   trace.Trace
+}
+
+var traceStore sync.Map // traceKey -> *traceEntry
+
+// GenerateCached is Generate memoised in the process-wide store: the
+// first caller for a given (spec, cfg) generates the trace, every
+// later (or concurrent) caller receives the same shared slice. The
+// returned trace must not be mutated.
+func (s *Spec) GenerateCached(cfg Config) trace.Trace {
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 1.0
+	}
+	key := traceKey{
+		app:      s.Name,
+		node:     int64(cfg.Node),
+		firstPID: int64(cfg.FirstPID),
+		seed:     cfg.Seed,
+		scale:    scale,
+	}
+	e, _ := traceStore.LoadOrStore(key, &traceEntry{})
+	entry := e.(*traceEntry)
+	entry.once.Do(func() { entry.tr = s.Generate(cfg) })
+	return entry.tr
+}
+
+// ResetTraceStore drops every memoised trace (tests, or long-lived
+// processes that change scale between evaluations and want the memory
+// back).
+func ResetTraceStore() {
+	traceStore.Range(func(k, _ any) bool {
+		traceStore.Delete(k)
+		return true
+	})
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"utlb/internal/trace"
+)
+
+func TestGenerateCachedMatchesGenerate(t *testing.T) {
+	defer ResetTraceStore()
+	spec, err := ByName("water-spatial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Node: 1, FirstPID: 6, Seed: 99, Scale: 0.05}
+	fresh := spec.Generate(cfg)
+	cached := spec.GenerateCached(cfg)
+	if !reflect.DeepEqual(fresh, cached) {
+		t.Error("cached trace differs from fresh generation")
+	}
+	// Second call returns the very same backing slice.
+	again := spec.GenerateCached(cfg)
+	if len(again) == 0 || &again[0] != &cached[0] {
+		t.Error("store did not memoise the trace")
+	}
+}
+
+func TestGenerateCachedKeyedByConfig(t *testing.T) {
+	defer ResetTraceStore()
+	spec, err := ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := spec.GenerateCached(Config{Node: 0, FirstPID: 1, Seed: 1, Scale: 0.05})
+	b := spec.GenerateCached(Config{Node: 0, FirstPID: 1, Seed: 2, Scale: 0.05})
+	if reflect.DeepEqual(a, b) {
+		t.Error("different seeds memoised to the same trace")
+	}
+	// Scale 0 normalises to 1.0 so both spellings share one entry.
+	c := spec.GenerateCached(Config{Node: 0, FirstPID: 1, Seed: 3, Scale: 0})
+	d := spec.GenerateCached(Config{Node: 0, FirstPID: 1, Seed: 3, Scale: 1.0})
+	if len(c) == 0 || &c[0] != &d[0] {
+		t.Error("scale 0 and 1.0 did not share a store entry")
+	}
+}
+
+func TestGenerateCachedSingleFlight(t *testing.T) {
+	defer ResetTraceStore()
+	spec, err := ByName("barnes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Node: 2, FirstPID: 11, Seed: 7, Scale: 0.05}
+	const goroutines = 8
+	traces := make([]trace.Trace, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			traces[g] = spec.GenerateCached(cfg)
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if len(traces[g]) != len(traces[0]) || &traces[g][0] != &traces[0][0] {
+			t.Fatalf("goroutine %d got a different trace instance", g)
+		}
+		if !reflect.DeepEqual(traces[g], traces[0]) {
+			t.Fatalf("goroutine %d got different trace contents", g)
+		}
+	}
+}
+
+func TestResetTraceStore(t *testing.T) {
+	spec, err := ByName("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Node: 0, FirstPID: 1, Seed: 5, Scale: 0.05}
+	a := spec.GenerateCached(cfg)
+	ResetTraceStore()
+	b := spec.GenerateCached(cfg)
+	if len(a) == 0 || &a[0] == &b[0] {
+		t.Error("reset did not drop the memoised trace")
+	}
+	ResetTraceStore()
+}

@@ -29,6 +29,7 @@ import (
 	"utlb/internal/core"
 	"utlb/internal/experiments"
 	"utlb/internal/fabric"
+	"utlb/internal/parallel"
 	"utlb/internal/sim"
 	"utlb/internal/svm"
 	"utlb/internal/trace"
@@ -121,7 +122,10 @@ const (
 // infinite memory.
 func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
 
-// Simulate runs a trace through the configured mechanism.
+// Simulate runs a trace through the configured mechanism. The config
+// is validated (start from DefaultSimConfig and override fields); an
+// invalid config — including the zero value — is an error rather than
+// a silent substitution of defaults.
 func Simulate(tr Trace, cfg SimConfig) (SimResult, error) { return sim.Run(tr, cfg) }
 
 // Workloads lists the seven SPLASH-2-like application specs in the
@@ -183,6 +187,15 @@ func RunSumReduce(s *SVM, n int) (uint32, error) { return svm.RunSumReduce(s, n)
 
 // ExperimentOptions tune experiment execution.
 type ExperimentOptions = experiments.Options
+
+// SetParallelism fixes the process-wide worker-pool width used by the
+// experiment engine (cmd/utlbsim's -parallel flag). 1 runs every
+// experiment loop strictly sequentially; n <= 0 resets to GOMAXPROCS.
+// Results are byte-identical at any width.
+func SetParallelism(n int) { parallel.SetWorkers(n) }
+
+// Parallelism reports the effective worker-pool width.
+func Parallelism() int { return parallel.Workers() }
 
 // ExperimentNames lists every reproducible table and figure.
 func ExperimentNames() []string { return append([]string(nil), experiments.Names...) }
