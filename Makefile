@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-json clean
+.PHONY: all check vet build test race bench bench-json obs-smoke clean
 
 all: check
 
 # The full local gate: what CI runs, in order.
-check: vet build race bench
+check: vet build race bench obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,22 @@ bench:
 # Regenerate the machine-readable numbers for BENCH_baseline.json.
 bench-json:
 	$(GO) run ./cmd/benchjson
+
+# Observability smoke: the exporter golden-file tests (any drift in the
+# Chrome-trace or Prometheus output fails the diff), then an end-to-end
+# recorded run through the CLI, checked for determinism across
+# sequential and parallel execution, and fed back through traceinfo.
+obs-smoke:
+	$(GO) test ./internal/obs
+	rm -rf /tmp/utlb-obs-smoke && mkdir -p /tmp/utlb-obs-smoke
+	$(GO) run ./cmd/utlbsim -exp t6 -scale 0.05 -parallel 1 \
+		-trace-out /tmp/utlb-obs-smoke/run1.json -metrics-out /tmp/utlb-obs-smoke/m1.txt >/dev/null
+	$(GO) run ./cmd/utlbsim -exp t6 -scale 0.05 -parallel 8 \
+		-trace-out /tmp/utlb-obs-smoke/run8.json -metrics-out /tmp/utlb-obs-smoke/m8.txt >/dev/null
+	diff /tmp/utlb-obs-smoke/run1.json /tmp/utlb-obs-smoke/run8.json
+	diff /tmp/utlb-obs-smoke/m1.txt /tmp/utlb-obs-smoke/m8.txt
+	$(GO) run ./cmd/traceinfo -events /tmp/utlb-obs-smoke/run1.json | head -5
+	rm -rf /tmp/utlb-obs-smoke
 
 clean:
 	$(GO) clean ./...

@@ -177,6 +177,25 @@ func BenchmarkSimulateUTLB(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateUTLBObserved is the recorder-enabled counterpart of
+// BenchmarkSimulateUTLB: the delta between the two is the full cost of
+// event recording (buffer appends; the exporters are not timed).
+func BenchmarkSimulateUTLBObserved(b *testing.B) {
+	tr, err := GenerateTrace("water-spatial", 1, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultSimConfig()
+	cfg.CacheEntries = 1024
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Recorder = NewEventBuffer("bench")
+		if _, err := Simulate(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulateInterrupt is the baseline counterpart.
 func BenchmarkSimulateInterrupt(b *testing.B) {
 	tr, err := GenerateTrace("water-spatial", 1, 0.1)

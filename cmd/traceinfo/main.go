@@ -7,13 +7,23 @@
 //
 //	tracegen -app radix -o radix.trc && traceinfo radix.trc
 //	tracegen -app fft -format text -o fft.txt && traceinfo -format text fft.txt
+//
+// With -events, the argument is instead a Chrome trace_event JSON file
+// recorded by `utlbsim -trace-out`, and traceinfo prints per-run event
+// histograms: for every run (app/config) and event kind, the count,
+// and for span kinds the total and mean simulated duration.
+//
+//	utlbsim -exp t6 -scale 0.1 -trace-out run.json && traceinfo -events run.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
+	"utlb/internal/obs"
+	"utlb/internal/stats"
 	"utlb/internal/trace"
 )
 
@@ -21,10 +31,11 @@ func main() {
 	var (
 		format = flag.String("format", "binary", "input format: binary or text")
 		reuse  = flag.Bool("reuse", true, "print the reuse-distance histogram")
+		events = flag.Bool("events", false, "treat the input as Chrome trace JSON from utlbsim -trace-out and print per-run event histograms")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: traceinfo [-format binary|text] <trace-file>")
+		fmt.Fprintln(os.Stderr, "usage: traceinfo [-events | -format binary|text] <file>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -32,6 +43,15 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
+
+	if *events {
+		tf, err := obs.ReadChromeTrace(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(eventHistograms(tf).String())
+		return
+	}
 
 	var tr trace.Trace
 	switch *format {
@@ -51,6 +71,69 @@ func main() {
 		fmt.Println("\nreuse-distance histogram (distinct (pid,page) pairs between uses):")
 		fmt.Print(trace.FormatReuseHistogram(trace.ReuseDistances(tr)))
 	}
+}
+
+// eventHistograms folds a recorded timeline into one row per
+// (run, event kind): count, and for spans total/mean duration in µs.
+func eventHistograms(tf *obs.TraceFile) *stats.Table {
+	type cell struct {
+		count int64
+		durUS float64
+		spans int64
+	}
+	perRun := map[int]map[string]*cell{}
+	for _, ev := range tf.Events {
+		kinds, ok := perRun[ev.PID]
+		if !ok {
+			kinds = map[string]*cell{}
+			perRun[ev.PID] = kinds
+		}
+		c, ok := kinds[ev.Name]
+		if !ok {
+			c = &cell{}
+			kinds[ev.Name] = c
+		}
+		c.count++
+		if ev.Ph == "X" {
+			c.durUS += ev.Dur
+			c.spans++
+		}
+	}
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("event histogram: %d events across %d runs", len(tf.Events), len(perRun)),
+		"run", "event", "count", "total us", "mean us")
+	pids := make([]int, 0, len(perRun))
+	for pid := range perRun {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		label := tf.ProcessNames[pid]
+		if label == "" {
+			label = fmt.Sprintf("pid%d", pid)
+		}
+		kinds := perRun[pid]
+		names := make([]string, 0, len(kinds))
+		for name := range kinds {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for i, name := range names {
+			c := kinds[name]
+			runLabel := ""
+			if i == 0 {
+				runLabel = label
+			}
+			total, mean := "-", "-"
+			if c.spans > 0 {
+				total = fmt.Sprintf("%.1f", c.durUS)
+				mean = fmt.Sprintf("%.3f", c.durUS/float64(c.spans))
+			}
+			tbl.AddRow(runLabel, name, fmt.Sprintf("%d", c.count), total, mean)
+		}
+	}
+	return tbl
 }
 
 func fatal(err error) {

@@ -7,6 +7,18 @@
 //	utlbsim -exp table4           # one experiment at paper scale
 //	utlbsim -exp all -scale 0.1   # everything, at a tenth the size
 //	utlbsim -list                 # list experiment names
+//
+// Observability:
+//
+//	utlbsim -exp t6 -trace-out=run.json -metrics-out=metrics.txt
+//
+// -trace-out records every simulation event and writes a Chrome
+// trace_event JSON file (load in Perfetto / chrome://tracing);
+// -metrics-out writes Prometheus-style counters and latency
+// histograms. Both are deterministic for a given run. Recording full
+// paper-scale experiments produces very large timelines; combine with
+// -scale for interactive use. -cpuprofile/-memprofile capture pprof
+// profiles of the simulator itself.
 package main
 
 import (
@@ -14,16 +26,18 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"utlb/internal/experiments"
+	"utlb/internal/obs"
 	"utlb/internal/parallel"
 	"utlb/internal/trace"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run (see -list)")
+		exp      = flag.String("exp", "all", "experiment to run (see -list; t1-t8/f7-f8 shorthand accepted)")
 		scale    = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper size)")
 		seed     = flag.Int64("seed", 1998, "random seed for trace generation and policies")
 		apps     = flag.String("apps", "", "comma-separated application subset (default: all seven)")
@@ -32,6 +46,11 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment names and exit")
 		traceIn  = flag.String("trace", "", "run the UTLB-vs-Intr comparison on a binary trace file instead of an experiment")
 		pinLimit = flag.Int("pinlimit", 0, "per-process pinned-page quota for -trace (0 = unlimited)")
+
+		traceOut   = flag.String("trace-out", "", "record the event timeline and write Chrome trace_event JSON here")
+		metricsOut = flag.String("metrics-out", "", "record events and write Prometheus-style text metrics here")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator here")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile here on exit")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*par)
@@ -43,38 +62,110 @@ func main() {
 		return
 	}
 
-	if *traceIn != "" {
-		f, err := os.Open(*traceIn)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
-		tr, err := trace.ReadBinary(f)
-		if err != nil {
+		if err := pprof.StartCPUProfile(f); err != nil {
 			fatal(err)
 		}
-		tbl, err := experiments.CompareTrace(tr, *seed, *pinLimit)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(tbl.String())
-		return
+		defer pprof.StopCPUProfile()
 	}
 
-	opts := experiments.Options{Scale: *scale, Seed: *seed, Nodes: *nodes}
-	if *apps != "" {
-		opts.Apps = strings.Split(*apps, ",")
+	// One collector serves every run of the invocation; each simulation
+	// records into its own labelled buffer and the export merges them
+	// in label order, independent of -parallel scheduling.
+	var col *obs.Collector
+	if *traceOut != "" || *metricsOut != "" {
+		col = obs.NewCollector()
 	}
 
-	var err error
-	if *exp == "all" {
-		err = experiments.RunAll(opts, os.Stdout)
-	} else {
-		err = experiments.Run(*exp, opts, os.Stdout)
-	}
-	if err != nil {
+	if err := run(*exp, *traceIn, *scale, *seed, *apps, *nodes, *pinLimit, col); err != nil {
 		fatal(err)
 	}
+
+	if col != nil {
+		if err := writeObs(col, *traceOut, *metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func run(exp, traceIn string, scale float64, seed int64, apps string, nodes, pinLimit int, col *obs.Collector) error {
+	if traceIn != "" {
+		f, err := os.Open(traceIn)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := trace.ReadBinary(f)
+		if err != nil {
+			return err
+		}
+		tbl, err := experiments.CompareTrace(tr, seed, pinLimit, col)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tbl.String())
+		return nil
+	}
+
+	opts := experiments.Options{Scale: scale, Seed: seed, Nodes: nodes, Obs: col}
+	if apps != "" {
+		opts.Apps = strings.Split(apps, ",")
+	}
+	if exp == "all" {
+		return experiments.RunAll(opts, os.Stdout)
+	}
+	return experiments.Run(exp, opts, os.Stdout)
+}
+
+// writeObs exports the collected timeline to the requested files.
+func writeObs(col *obs.Collector, traceOut, metricsOut string) error {
+	runs := col.Runs()
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, runs); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "utlbsim: wrote %d events (%d runs) to %s\n",
+			col.Events(), len(runs), traceOut)
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WritePrometheus(f, obs.Aggregate(runs)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "utlbsim: wrote metrics to %s\n", metricsOut)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -11,6 +11,7 @@ package bus
 import (
 	"fmt"
 
+	"utlb/internal/obs"
 	"utlb/internal/phys"
 	"utlb/internal/units"
 )
@@ -69,6 +70,11 @@ type Bus struct {
 	writes     int64
 	bytesRead  int64
 	bytesWrite int64
+
+	// Observability: each DMA transfer is recorded as a span on the
+	// bus track when rec is non-nil.
+	rec  obs.Recorder
+	node units.NodeID
 }
 
 // New returns a bus over mem charging time to clock.
@@ -79,6 +85,25 @@ func New(mem *phys.Memory, clock *units.Clock, costs Costs) *Bus {
 // Costs returns the bus cost model.
 func (b *Bus) Costs() Costs { return b.costs }
 
+// SetRecorder attaches r: every DMA transfer is recorded as a span
+// (start = clock before the transfer, duration = its charged cost)
+// tagged with node. nil detaches.
+func (b *Bus) SetRecorder(r obs.Recorder, node units.NodeID) {
+	b.rec = r
+	b.node = node
+}
+
+// recordDMA emits one transfer span; callers nil-check b.rec first.
+func (b *Bus) recordDMA(kind obs.Kind, start, cost units.Time, bytes int64) {
+	b.rec.Record(obs.Event{
+		Time: start,
+		Dur:  cost,
+		Arg:  uint64(bytes),
+		Node: b.node,
+		Kind: kind,
+	})
+}
+
 // ReadWords DMAs n consecutive 8-byte words starting at pa from host
 // memory, charging the entry-fetch cost. This is the Shared UTLB-Cache
 // miss path: the NIC reads translation entries out of the host-resident
@@ -87,7 +112,11 @@ func (b *Bus) ReadWords(pa units.PAddr, n int) []uint64 {
 	if n < 0 {
 		panic(fmt.Sprintf("bus: negative word count %d", n))
 	}
-	b.clock.Advance(b.costs.EntryFetchCost(n))
+	cost := b.costs.EntryFetchCost(n)
+	if b.rec != nil {
+		b.recordDMA(obs.KindDMARead, b.clock.Now(), cost, int64(n)*8)
+	}
+	b.clock.Advance(cost)
 	b.reads++
 	b.bytesRead += int64(n) * 8
 	out := make([]uint64, n)
@@ -99,7 +128,11 @@ func (b *Bus) ReadWords(pa units.PAddr, n int) []uint64 {
 
 // WriteWords DMAs words into host memory starting at pa.
 func (b *Bus) WriteWords(pa units.PAddr, words []uint64) {
-	b.clock.Advance(b.costs.EntryFetchCost(len(words)))
+	cost := b.costs.EntryFetchCost(len(words))
+	if b.rec != nil {
+		b.recordDMA(obs.KindDMAWrite, b.clock.Now(), cost, int64(len(words))*8)
+	}
+	b.clock.Advance(cost)
 	b.writes++
 	b.bytesWrite += int64(len(words)) * 8
 	for i, w := range words {
@@ -110,7 +143,11 @@ func (b *Bus) WriteWords(pa units.PAddr, words []uint64) {
 // ReadData DMAs n bytes of bulk data from host memory at pa, charging
 // the bandwidth-dominated data cost. Used for outgoing message payloads.
 func (b *Bus) ReadData(pa units.PAddr, n int) []byte {
-	b.clock.Advance(b.costs.DataCost(n))
+	cost := b.costs.DataCost(n)
+	if b.rec != nil {
+		b.recordDMA(obs.KindDMARead, b.clock.Now(), cost, int64(n))
+	}
+	b.clock.Advance(cost)
 	b.reads++
 	b.bytesRead += int64(n)
 	return b.mem.Read(pa, n)
@@ -119,7 +156,11 @@ func (b *Bus) ReadData(pa units.PAddr, n int) []byte {
 // WriteData DMAs bulk data into host memory at pa. Used for incoming
 // message payloads landing in a receive buffer.
 func (b *Bus) WriteData(pa units.PAddr, data []byte) {
-	b.clock.Advance(b.costs.DataCost(len(data)))
+	cost := b.costs.DataCost(len(data))
+	if b.rec != nil {
+		b.recordDMA(obs.KindDMAWrite, b.clock.Now(), cost, int64(len(data)))
+	}
+	b.clock.Advance(cost)
 	b.writes++
 	b.bytesWrite += int64(len(data))
 	b.mem.Write(pa, data)

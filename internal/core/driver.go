@@ -5,6 +5,7 @@ import (
 
 	"utlb/internal/hostos"
 	"utlb/internal/nicsim"
+	"utlb/internal/obs"
 	"utlb/internal/tlbcache"
 	"utlb/internal/units"
 )
@@ -139,6 +140,15 @@ func (d *Driver) HandleSwappedTable(pid units.ProcID, vpn units.VPN) error {
 	return d.host.Interrupt(func() error {
 		if disk := t.Disk(); disk != nil {
 			d.host.Clock().Advance(disk.AccessTime)
+		}
+		if rec := d.host.Recorder(); rec != nil {
+			rec.Record(obs.Event{
+				Time: d.host.Clock().Now(),
+				Arg:  uint64(vpn),
+				PID:  pid,
+				Node: d.host.ID(),
+				Kind: obs.KindSwapIn,
+			})
 		}
 		return t.SwapIn(vpn)
 	})

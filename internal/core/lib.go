@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"utlb/internal/hostos"
+	"utlb/internal/obs"
 	"utlb/internal/units"
 	"utlb/internal/vm"
 )
@@ -23,6 +24,9 @@ type LibConfig struct {
 	// miss, the library pins up to Prepin contiguous pages starting at
 	// the missing page. 1 disables pre-pinning.
 	Prepin int
+	// Recorder, when non-nil, receives check hit/miss spans from this
+	// library's lookups.
+	Recorder obs.Recorder
 }
 
 // LibStats are the user-level library's cumulative counters, the raw
@@ -53,6 +57,7 @@ type Lib struct {
 	bv     *BitVector
 	policy Policy
 	prepin int
+	rec    obs.Recorder
 
 	stats LibStats
 }
@@ -73,6 +78,7 @@ func NewLib(drv *Driver, proc *hostos.Process, cfg LibConfig) (*Lib, error) {
 		bv:     NewBitVector(VASpacePages, host.Costs(), host.Clock()),
 		policy: NewPolicy(cfg.Policy, cfg.PolicySeed),
 		prepin: cfg.Prepin,
+		rec:    cfg.Recorder,
 	}, nil
 }
 
@@ -121,6 +127,20 @@ func (l *Lib) Lookup(va units.VAddr, nbytes int) error {
 	t0 := l.host.Clock().Now()
 	missing := l.bv.Check(vpn, pages)
 	l.stats.CheckTime += l.host.Clock().Now() - t0
+	if l.rec != nil {
+		kind := obs.KindCheckHit
+		if len(missing) > 0 {
+			kind = obs.KindCheckMiss
+		}
+		l.rec.Record(obs.Event{
+			Time: t0,
+			Dur:  l.host.Clock().Now() - t0,
+			Arg:  uint64(pages),
+			PID:  l.proc.PID(),
+			Node: l.host.ID(),
+			Kind: kind,
+		})
+	}
 
 	for i := 0; i < pages; i++ {
 		l.policy.Touch(vpn + units.VPN(i))

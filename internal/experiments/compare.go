@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"utlb/internal/obs"
 	"utlb/internal/parallel"
 	"utlb/internal/sim"
 	"utlb/internal/stats"
@@ -13,8 +14,9 @@ import (
 // interrupt baseline, Table 4 layout) on an arbitrary trace — a file
 // captured elsewhere, or one recorded from the SVM layer. Cache sizes
 // sweep 1K-16K entries as in the paper; pinLimitPages of 0 means
-// unconstrained memory.
-func CompareTrace(tr trace.Trace, seed int64, pinLimitPages int) (*stats.Table, error) {
+// unconstrained memory. col, when non-nil, collects each run's event
+// timeline.
+func CompareTrace(tr trace.Trace, seed int64, pinLimitPages int, col *obs.Collector) (*stats.Table, error) {
 	tbl := stats.NewTable(
 		fmt.Sprintf("UTLB vs Intr on supplied trace (%d lookups, %d-page footprint, pin limit %d)",
 			tr.Lookups(), tr.Footprint(), pinLimitPages),
@@ -26,11 +28,17 @@ func CompareTrace(tr trace.Trace, seed int64, pinLimitPages int) (*stats.Table, 
 		cfg.CacheEntries = entries
 		cfg.Seed = seed
 		cfg.PinLimitPages = pinLimitPages
+		if col != nil {
+			cfg.Recorder = col.Buffer(fmt.Sprintf("compare/%s/utlb", sizeLabel(entries)))
+		}
 		u, err := sim.Run(tr, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("compare UTLB %d: %w", entries, err)
 		}
 		cfg.Mechanism = sim.Interrupt
+		if col != nil {
+			cfg.Recorder = col.Buffer(fmt.Sprintf("compare/%s/intr", sizeLabel(entries)))
+		}
 		i, err := sim.Run(tr, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("compare Intr %d: %w", entries, err)

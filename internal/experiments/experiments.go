@@ -11,6 +11,7 @@ import (
 	"io"
 	"sort"
 
+	"utlb/internal/obs"
 	"utlb/internal/parallel"
 	"utlb/internal/trace"
 	"utlb/internal/units"
@@ -28,6 +29,11 @@ type Options struct {
 	// Nodes is how many cluster nodes to simulate and average over
 	// (the paper runs four and reports per-node averages). Default 1.
 	Nodes int
+	// Obs, when non-nil, collects the event timeline of every
+	// simulation run. Each run records into its own deterministically
+	// labelled buffer (experiment/app/config/node), so the merged
+	// export is byte-identical at any -parallel width.
+	Obs *obs.Collector
 }
 
 // DefaultOptions runs the full paper-scale evaluation.
@@ -52,6 +58,17 @@ func (o Options) apps() []string {
 		return workload.Names()
 	}
 	return o.Apps
+}
+
+// recorderFor returns the collector buffer for one simulation run, or
+// nil (recording disabled) when no collector is attached. The label
+// must be deterministic and unique per run: concurrent runs append to
+// separate buffers, and the collector merges them in label order.
+func (o Options) recorderFor(label string) obs.Recorder {
+	if o.Obs == nil {
+		return nil
+	}
+	return o.Obs.Buffer(label)
 }
 
 // traceFor returns app's node-0 trace, memoised in the process-wide
@@ -91,13 +108,13 @@ func (o Options) nodeTracesFor(app string) ([]trace.Trace, error) {
 // independent simulations, so they fan out through the worker pool;
 // summation stays in node order, so the float result is bit-identical
 // to the sequential loop's.
-func (o Options) avgOver(app string, f func(trace.Trace) ([]float64, error)) ([]float64, error) {
+func (o Options) avgOver(app string, f func(node int, tr trace.Trace) ([]float64, error)) ([]float64, error) {
 	trs, err := o.nodeTracesFor(app)
 	if err != nil {
 		return nil, err
 	}
 	perNode, err := parallel.Map(len(trs), func(n int) ([]float64, error) {
-		return f(trs[n])
+		return f(n, trs[n])
 	})
 	if err != nil {
 		return nil, err
@@ -126,13 +143,29 @@ var Names = []string{
 	"svm-pipeline",
 }
 
-// Run executes the named experiment and writes its rendering to w.
+// aliases maps shorthand experiment names (t6, f7) to canonical ones.
+var aliases = map[string]string{
+	"t1": "table1", "t2": "table2", "t3": "table3", "t4": "table4",
+	"t5": "table5", "t6": "table6", "t7": "table7", "t8": "table8",
+	"f7": "fig7", "f8": "fig8",
+}
+
+// Canonical resolves an experiment name or shorthand alias.
+func Canonical(name string) string {
+	if full, ok := aliases[name]; ok {
+		return full
+	}
+	return name
+}
+
+// Run executes the named experiment (canonical name or t1-t8/f7-f8
+// shorthand) and writes its rendering to w.
 func Run(name string, opts Options, w io.Writer) error {
 	var (
 		out stringer
 		err error
 	)
-	switch name {
+	switch Canonical(name) {
 	case "table1":
 		out = Table1()
 	case "table2":

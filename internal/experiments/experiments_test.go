@@ -233,7 +233,7 @@ func TestCompareTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := spec.Generate(workload.Config{Node: 0, FirstPID: 1, Seed: 3, Scale: 0.02})
-	tbl, err := CompareTrace(tr, 1, 16)
+	tbl, err := CompareTrace(tr, 1, 16, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestNodeAveraging(t *testing.T) {
 	}
 	// avgOver averages element-wise; f may run on pool goroutines.
 	var calls atomic.Int64
-	avg, err := opts.avgOver("water-spatial", func(tr trace.Trace) ([]float64, error) {
+	avg, err := opts.avgOver("water-spatial", func(node int, tr trace.Trace) ([]float64, error) {
 		return []float64{1, float64(calls.Add(1))}, nil
 	})
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"utlb/internal/core"
 	"utlb/internal/hostos"
 	"utlb/internal/nicsim"
+	"utlb/internal/obs"
 	"utlb/internal/parallel"
 	"utlb/internal/sim"
 	"utlb/internal/stats"
@@ -42,6 +43,7 @@ func Fig7(opts Options) (*stats.Table, error) {
 		cfg := sim.DefaultConfig()
 		cfg.CacheEntries = entries
 		cfg.Seed = opts.Seed
+		cfg.Recorder = opts.recorderFor(fmt.Sprintf("fig7/%s/%s", app, sizeLabel(entries)))
 		res, err := sim.Run(tr, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("fig7 %s %d: %w", app, entries, err)
@@ -96,6 +98,7 @@ func Fig8(opts Options) (*stats.Figure, *stats.Figure, error) {
 		// a miss" — sequential pre-pinning (§6.5) provides them.
 		cfg.Prepin = prefetch
 		cfg.Seed = opts.Seed
+		cfg.Recorder = opts.recorderFor(fmt.Sprintf("fig8/%s/pf%02d", sizeLabel(entries), prefetch))
 		res, err := sim.Run(tr, cfg)
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("fig8 %d/%d: %w", entries, prefetch, err)
@@ -141,12 +144,14 @@ func AblationPerProcess(opts Options) (*stats.Table, error) {
 		cfg := sim.DefaultConfig()
 		cfg.CacheEntries = totalEntries
 		cfg.Seed = opts.Seed
+		cfg.Recorder = opts.recorderFor("ablation-perprocess/" + app + "/shared")
 		shared, err := sim.Run(tr, cfg)
 		if err != nil {
 			return nil, err
 		}
 		// Per-process run.
-		pp, err := runPerProcess(tr, perProcEntries, opts.Seed)
+		pp, err := runPerProcess(tr, perProcEntries, opts.Seed,
+			opts.recorderFor("ablation-perprocess/"+app+"/perproc"))
 		if err != nil {
 			return nil, fmt.Errorf("per-process %s: %w", app, err)
 		}
@@ -173,8 +178,8 @@ func AblationPerProcess(opts Options) (*stats.Table, error) {
 }
 
 // runPerProcess drives a trace through per-process UTLBs (one static
-// table per process).
-func runPerProcess(tr trace.Trace, entries int, seed int64) (sim.Result, error) {
+// table per process). rec, when non-nil, receives the run's events.
+func runPerProcess(tr trace.Trace, entries int, seed int64, rec obs.Recorder) (sim.Result, error) {
 	var res sim.Result
 	sorted := tr
 	if !tr.IsSortedByTime() {
@@ -192,6 +197,12 @@ func runPerProcess(tr trace.Trace, entries int, seed int64) (sim.Result, error) 
 	if err != nil {
 		return res, err
 	}
+	if rec != nil {
+		host.SetRecorder(rec)
+		b.SetRecorder(rec, 0)
+		nic.SetRecorder(rec)
+		drv.Cache().Instrument(rec, clk, 0)
+	}
 	utlbs := map[units.ProcID]*core.PerProcessUTLB{}
 	for _, pid := range sorted.PIDs() {
 		proc, err := host.Spawn(pid, fmt.Sprintf("proc%d", pid),
@@ -200,7 +211,7 @@ func runPerProcess(tr trace.Trace, entries int, seed int64) (sim.Result, error) 
 			return res, err
 		}
 		u, err := core.NewPerProcessUTLB(drv, proc, entries,
-			core.LibConfig{Policy: core.LRU, PolicySeed: seed})
+			core.LibConfig{Policy: core.LRU, PolicySeed: seed, Recorder: rec})
 		if err != nil {
 			return res, err
 		}

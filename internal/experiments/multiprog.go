@@ -44,14 +44,17 @@ func AblationMultiprog(opts Options) (*stats.Table, error) {
 		cfg.CacheEntries = entries
 		cfg.Seed = opts.Seed
 
+		pairName := pair[0] + "+" + pair[1]
 		// Each alone at half scale (matching its share of the mix).
 		half := opts.scale() / 2
+		cfg.Recorder = opts.recorderFor("ablation-multiprog/" + pairName + "/a-alone")
 		aAlone, err := sim.Run(specA.GenerateCached(workload.Config{
 			Node: 0, FirstPID: 1, Seed: opts.Seed, Scale: half,
 		}), cfg)
 		if err != nil {
 			return nil, fmt.Errorf("multiprog %s alone: %w", pair[0], err)
 		}
+		cfg.Recorder = opts.recorderFor("ablation-multiprog/" + pairName + "/b-alone")
 		bAlone, err := sim.Run(specB.GenerateCached(workload.Config{
 			Node: 0, FirstPID: 1, Seed: opts.Seed, Scale: half,
 		}), cfg)
@@ -60,18 +63,20 @@ func AblationMultiprog(opts Options) (*stats.Table, error) {
 		}
 
 		mixTrace := workload.Multiprogram([]*workload.Spec{specA, specB}, 0, opts.Seed, opts.scale())
+		cfg.Recorder = opts.recorderFor("ablation-multiprog/" + pairName + "/mixed")
 		mixed, err := sim.Run(mixTrace, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("multiprog mix: %w", err)
 		}
 		cfgNoOff := cfg
 		cfgNoOff.IndexOffset = false
+		cfgNoOff.Recorder = opts.recorderFor("ablation-multiprog/" + pairName + "/mixed-nooffset")
 		mixedNoOff, err := sim.Run(mixTrace, cfgNoOff)
 		if err != nil {
 			return nil, err
 		}
 
-		return []string{pair[0] + "+" + pair[1],
+		return []string{pairName,
 			fmt.Sprintf("%.2f", aAlone.NIMissRatio()),
 			fmt.Sprintf("%.2f", bAlone.NIMissRatio()),
 			fmt.Sprintf("%.2f", mixed.NIMissRatio()),

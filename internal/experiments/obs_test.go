@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"utlb/internal/obs"
+	"utlb/internal/parallel"
+	"utlb/internal/workload"
+)
+
+// renderObs runs the named experiment with a collector attached at the
+// given pool width and returns both exporter outputs.
+func renderObs(t *testing.T, name string, width int) (chrome, metrics string) {
+	t.Helper()
+	parallel.SetWorkers(width)
+	defer parallel.SetWorkers(0)
+	workload.ResetTraceStore()
+	col := obs.NewCollector()
+	opts := Options{Scale: 0.03, Seed: 7, Apps: []string{"water-spatial", "fft"}, Obs: col}
+	var sb strings.Builder
+	if err := Run(name, opts, &sb); err != nil {
+		t.Fatalf("%s width %d: %v", name, width, err)
+	}
+	runs := col.Runs()
+	if len(runs) == 0 {
+		t.Fatalf("%s width %d: collector stayed empty", name, width)
+	}
+	var cb, mb bytes.Buffer
+	if err := obs.WriteChromeTrace(&cb, runs); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WritePrometheus(&mb, obs.Aggregate(runs)); err != nil {
+		t.Fatal(err)
+	}
+	return cb.String(), mb.String()
+}
+
+// TestObsOutputByteIdenticalAcrossWidths asserts the collected
+// timeline — not just the rendered tables — is byte-identical at pool
+// width 1 and 8: buffers merge by label, never by scheduling order.
+func TestObsOutputByteIdenticalAcrossWidths(t *testing.T) {
+	for _, name := range []string{"table6", "fig7"} {
+		c1, m1 := renderObs(t, name, 1)
+		c8, m8 := renderObs(t, name, 8)
+		if c1 != c8 {
+			t.Errorf("%s: chrome trace diverged across widths (lens %d vs %d)", name, len(c1), len(c8))
+		}
+		if m1 != m8 {
+			t.Errorf("%s: metrics diverged across widths:\n--- width 1 ---\n%s\n--- width 8 ---\n%s",
+				name, m1, m8)
+		}
+	}
+}
+
+// TestObsLabelsAreUniquePerRun asserts every simulation run in a
+// multi-node, multi-config experiment lands in its own buffer: labels
+// collide only if two runs would record interleaved (a race and a
+// nondeterminism source).
+func TestObsLabelsAreUniquePerRun(t *testing.T) {
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(0)
+	workload.ResetTraceStore()
+	col := obs.NewCollector()
+	opts := Options{Scale: 0.03, Seed: 7, Apps: []string{"fft"}, Nodes: 2, Obs: col}
+	if _, err := Table4(opts); err != nil {
+		t.Fatal(err)
+	}
+	runs := col.Runs()
+	// 1 app x 5 cache sizes x 2 mechanisms x 2 nodes.
+	if len(runs) != 20 {
+		labels := make([]string, len(runs))
+		for i, r := range runs {
+			labels[i] = r.Label
+		}
+		t.Fatalf("runs = %d, want 20: %v", len(runs), labels)
+	}
+	for _, r := range runs {
+		for _, part := range []string{"table4/", "fft/"} {
+			if !strings.Contains(r.Label, part) {
+				t.Errorf("label %q missing %q", r.Label, part)
+			}
+		}
+	}
+}
+
+// TestOptionsRecorderFor pins the nil-collector behaviour: the
+// returned Recorder must be an untyped nil so component nil checks
+// stay false (a typed-nil interface would defeat them).
+func TestOptionsRecorderFor(t *testing.T) {
+	var o Options
+	if rec := o.recorderFor("x"); rec != nil {
+		t.Fatalf("recorderFor without collector = %v, want nil", rec)
+	}
+	o.Obs = obs.NewCollector()
+	rec := o.recorderFor("x")
+	if rec == nil {
+		t.Fatal("recorderFor with collector returned nil")
+	}
+	rec.Record(obs.Event{Kind: obs.KindCacheHit})
+	if o.Obs.Events() != 1 {
+		t.Fatal("recorded event did not reach the collector")
+	}
+}

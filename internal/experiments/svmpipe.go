@@ -66,11 +66,13 @@ func SVMPipeline(opts Options) (*stats.Table, error) {
 		cfg := sim.DefaultConfig()
 		cfg.CacheEntries = 1024
 		cfg.Seed = opts.Seed
+		cfg.Recorder = opts.recorderFor("svm-pipeline/" + k.name + "/utlb")
 		u, err := sim.Run(tr, cfg)
 		if err != nil {
 			return nil, err
 		}
 		cfg.Mechanism = sim.Interrupt
+		cfg.Recorder = opts.recorderFor("svm-pipeline/" + k.name + "/intr")
 		i, err := sim.Run(tr, cfg)
 		if err != nil {
 			return nil, err

@@ -75,7 +75,7 @@ func Table3(opts Options) (*stats.Table, error) {
 // and the interrupt baseline. The (cache size x application) grid fans
 // out on the worker pool; each cell is itself a node-averaged pair of
 // simulation runs.
-func comparisonTable(opts Options, title string, pinLimitPages int) (*stats.Table, error) {
+func comparisonTable(opts Options, expName, title string, pinLimitPages int) (*stats.Table, error) {
 	apps := opts.apps()
 	header := []string{"cache", "characteristic (per lookup)"}
 	for _, app := range apps {
@@ -88,16 +88,20 @@ func comparisonTable(opts Options, title string, pinLimitPages int) (*stats.Tabl
 		entries := sizes[i/len(apps)]
 		app := apps[i%len(apps)]
 		// Per-node averages, as the paper reports (§6.2).
-		return opts.avgOver(app, func(tr trace.Trace) ([]float64, error) {
+		return opts.avgOver(app, func(node int, tr trace.Trace) ([]float64, error) {
 			cfg := sim.DefaultConfig()
 			cfg.CacheEntries = entries
 			cfg.PinLimitPages = pinLimitPages
 			cfg.Seed = opts.Seed
+			cfg.Recorder = opts.recorderFor(fmt.Sprintf("%s/%s/%s/utlb/n%d",
+				expName, app, sizeLabel(entries), node))
 			u, err := sim.Run(tr, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("%s UTLB %d: %w", app, entries, err)
 			}
 			cfg.Mechanism = sim.Interrupt
+			cfg.Recorder = opts.recorderFor(fmt.Sprintf("%s/%s/%s/intr/n%d",
+				expName, app, sizeLabel(entries), node))
 			i, err := sim.Run(tr, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("%s Intr %d: %w", app, entries, err)
@@ -137,7 +141,7 @@ func comparisonTable(opts Options, title string, pinLimitPages int) (*stats.Tabl
 // breakdown: UTLB vs. Intr (infinite host memory, direct-mapped
 // translation cache with cache index offsetting, and no prefetch)".
 func Table4(opts Options) (*stats.Table, error) {
-	return comparisonTable(opts,
+	return comparisonTable(opts, "table4",
 		"Table 4: UTLB vs Intr per-lookup overheads (infinite host memory, direct-mapped+offset, no prefetch)",
 		0)
 }
@@ -146,7 +150,7 @@ func Table4(opts Options) (*stats.Table, error) {
 // quota — reproducing "Table 5".
 func Table5(opts Options) (*stats.Table, error) {
 	limit := scaleLimit(1024, opts)
-	return comparisonTable(opts,
+	return comparisonTable(opts, "table5",
 		"Table 5: UTLB vs Intr per-lookup overheads (4 MB host memory per process, direct-mapped+offset, no prefetch)",
 		limit)
 }
@@ -181,11 +185,13 @@ func Table6(opts Options) (*stats.Table, error) {
 		cfg := sim.DefaultConfig()
 		cfg.CacheEntries = entries
 		cfg.Seed = opts.Seed
+		cfg.Recorder = opts.recorderFor(fmt.Sprintf("table6/%s/%s/utlb", app, sizeLabel(entries)))
 		u, err := sim.Run(tr, cfg)
 		if err != nil {
 			return nil, err
 		}
 		cfg.Mechanism = sim.Interrupt
+		cfg.Recorder = opts.recorderFor(fmt.Sprintf("table6/%s/%s/intr", app, sizeLabel(entries)))
 		ir, err := sim.Run(tr, cfg)
 		if err != nil {
 			return nil, err
@@ -239,6 +245,7 @@ func Table7(opts Options) (*stats.Table, error) {
 		if opts.scale() < 1 {
 			cfg.CacheEntries = scaledSizes(opts)[3]
 		}
+		cfg.Recorder = opts.recorderFor(fmt.Sprintf("table7/%s/prepin%d", app, prepin))
 		res, err := sim.Run(tr, cfg)
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("table7 %s prepin=%d: %w", app, prepin, err)
@@ -304,12 +311,14 @@ func Table8(opts Options) (*stats.Table, error) {
 		entries := sizes[i/(len(assocs)*len(apps))]
 		a := assocs[i/len(apps)%len(assocs)]
 		app := apps[i%len(apps)]
-		avg, err := opts.avgOver(app, func(tr trace.Trace) ([]float64, error) {
+		avg, err := opts.avgOver(app, func(node int, tr trace.Trace) ([]float64, error) {
 			cfg := sim.DefaultConfig()
 			cfg.CacheEntries = entries
 			cfg.Ways = a.ways
 			cfg.IndexOffset = a.offset
 			cfg.Seed = opts.Seed
+			cfg.Recorder = opts.recorderFor(fmt.Sprintf("table8/%s/%s/%s/n%d",
+				app, a.label, sizeLabel(entries), node))
 			res, err := sim.Run(tr, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("table8 %s %s %d: %w", app, a.label, entries, err)
@@ -366,6 +375,7 @@ func AblationPolicies(opts Options) (*stats.Table, error) {
 		if opts.scale() < 1 {
 			cfg.CacheEntries = scaledSizes(opts)[3]
 		}
+		cfg.Recorder = opts.recorderFor(fmt.Sprintf("ablation-policies/%s/%s", pol, app))
 		res, err := sim.Run(tr, cfg)
 		if err != nil {
 			return "", fmt.Errorf("policies %s %s: %w", pol, app, err)

@@ -13,6 +13,7 @@ package hostos
 import (
 	"fmt"
 
+	"utlb/internal/obs"
 	"utlb/internal/phys"
 	"utlb/internal/units"
 )
@@ -156,6 +157,10 @@ type Host struct {
 	// context switches (reclaim.go).
 	current  units.ProcID
 	switches int64
+
+	// Observability: pin/unpin ioctls and interrupts are recorded as
+	// spans on the host track when rec is non-nil.
+	rec obs.Recorder
 }
 
 // New returns a host with the given node id, memory size in bytes, and
@@ -182,6 +187,27 @@ func (h *Host) Memory() *phys.Memory { return h.mem }
 // Costs returns the host cost model.
 func (h *Host) Costs() Costs { return h.costs }
 
+// SetRecorder attaches r: pin/unpin ioctls and interrupts are
+// recorded as spans on the host clock. nil detaches.
+func (h *Host) SetRecorder(r obs.Recorder) { h.rec = r }
+
+// Recorder returns the attached recorder (nil when disabled), letting
+// components that already hold the host — the UTLB driver, the
+// interrupt baseline — record their own host-side events.
+func (h *Host) Recorder() obs.Recorder { return h.rec }
+
+// recordSpan emits one host span; callers nil-check h.rec first.
+func (h *Host) recordSpan(kind obs.Kind, start units.Time, pid units.ProcID, pages int) {
+	h.rec.Record(obs.Event{
+		Time: start,
+		Dur:  h.clock.Now() - start,
+		Arg:  uint64(pages),
+		PID:  pid,
+		Node: h.id,
+		Kind: kind,
+	})
+}
+
 // Spawn creates a process with the given pid and name, backed by space
 // (which carries its own pinned-page quota), and registers it.
 func (h *Host) Spawn(pid units.ProcID, name string, space Space) (*Process, error) {
@@ -205,6 +231,9 @@ func (h *Host) Processes() int { return len(h.procs) }
 // pages it already pinned and reports the error; time for the attempted
 // work is still charged, as it would be on a real machine.
 func (h *Host) PinPages(p *Process, vpns []units.VPN) ([]units.PFN, error) {
+	if h.rec != nil {
+		defer h.recordSpan(obs.KindPin, h.clock.Now(), p.pid, len(vpns))
+	}
 	h.clock.Advance(h.costs.PinCost(len(vpns)))
 	return h.pinLocked(p, vpns)
 }
@@ -212,6 +241,9 @@ func (h *Host) PinPages(p *Process, vpns []units.VPN) ([]units.PFN, error) {
 // PinPagesInKernel is PinPages without the protection-domain crossing,
 // used by the interrupt-based baseline inside its interrupt handler.
 func (h *Host) PinPagesInKernel(p *Process, vpns []units.VPN) ([]units.PFN, error) {
+	if h.rec != nil {
+		defer h.recordSpan(obs.KindKernelPin, h.clock.Now(), p.pid, len(vpns))
+	}
 	h.clock.Advance(h.costs.KernelPinCost(len(vpns)))
 	return h.pinLocked(p, vpns)
 }
@@ -238,12 +270,18 @@ func (h *Host) pinLocked(p *Process, vpns []units.VPN) ([]units.PFN, error) {
 // unpins every page. Unpinning a page that is not pinned is a caller
 // bug and returns an error after charging time.
 func (h *Host) UnpinPages(p *Process, vpns []units.VPN) error {
+	if h.rec != nil {
+		defer h.recordSpan(obs.KindUnpin, h.clock.Now(), p.pid, len(vpns))
+	}
 	h.clock.Advance(h.costs.UnpinCost(len(vpns)))
 	return h.unpinLocked(p, vpns)
 }
 
 // UnpinPagesInKernel is UnpinPages without the domain crossing.
 func (h *Host) UnpinPagesInKernel(p *Process, vpns []units.VPN) error {
+	if h.rec != nil {
+		defer h.recordSpan(obs.KindKernelUnpin, h.clock.Now(), p.pid, len(vpns))
+	}
 	h.clock.Advance(h.costs.KernelUnpinCost(len(vpns)))
 	return h.unpinLocked(p, vpns)
 }
@@ -263,6 +301,11 @@ func (h *Host) unpinLocked(p *Process, vpns []units.VPN) error {
 // this path; UTLB's whole point is to keep off it.
 func (h *Host) Interrupt(handler func() error) error {
 	h.interrupts++
+	if h.rec != nil {
+		// The span covers dispatch plus the handler's own host time
+		// (interrupt-time pins record nested spans of their own).
+		defer h.recordSpan(obs.KindInterrupt, h.clock.Now(), 0, 0)
+	}
 	h.clock.Advance(h.costs.InterruptDispatch)
 	return handler()
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"utlb/internal/bus"
+	"utlb/internal/obs"
 	"utlb/internal/units"
 )
 
@@ -73,6 +74,10 @@ type NIC struct {
 	// Counters for experiments.
 	interruptsRaised int64
 	dmaFetches       int64
+
+	// Observability: interrupt assertions are recorded as spans on the
+	// nic track when rec is non-nil.
+	rec obs.Recorder
 }
 
 // New returns a NIC with the given SRAM size attached to b. The NIC has
@@ -131,6 +136,10 @@ func (n *NIC) ReleaseSRAM(nbytes int) {
 // SetInterruptHandler wires the NIC's interrupt line to a host handler.
 func (n *NIC) SetInterruptHandler(h InterruptHandler) { n.intr = h }
 
+// SetRecorder attaches r: interrupt assertions are recorded as spans
+// on the NIC clock. nil detaches.
+func (n *NIC) SetRecorder(r obs.Recorder) { n.rec = r }
+
 // RaiseInterrupt asserts the interrupt line, charging the NIC-side cost
 // and invoking the host handler. It panics if no handler is wired: an
 // interrupt with no handler wedges a real machine too.
@@ -139,6 +148,17 @@ func (n *NIC) RaiseInterrupt() error {
 		panic("nicsim: interrupt raised with no handler wired")
 	}
 	n.interruptsRaised++
+	if n.rec != nil {
+		t0 := n.clock.Now()
+		defer func() {
+			n.rec.Record(obs.Event{
+				Time: t0,
+				Dur:  n.clock.Now() - t0,
+				Node: n.id,
+				Kind: obs.KindNICInterrupt,
+			})
+		}()
+	}
 	n.clock.Advance(n.costs.RaiseInterrupt)
 	return n.intr()
 }

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event export: one trace "process" per run (labelled by
+// the run's label), one "thread" per (node, pid, component) so
+// Perfetto renders one track per component per simulated process.
+// Timestamps in the format are microseconds; simulated time is
+// nanoseconds, so values are emitted as fixed three-decimal micros —
+// pure integer math, byte-deterministic.
+
+// chromeTID packs a track identity into a stable thread id. The
+// format only needs tids to be unique within a process and ordered
+// sensibly; 8 components and up to 512 pids per node fit comfortably.
+func chromeTID(node int, pid int, comp int) int {
+	return node*4096 + pid*8 + comp
+}
+
+// writeMicros writes ns as a decimal microsecond value with exactly
+// three fractional digits ("12.345") without going through float64.
+func writeMicros(w *bufio.Writer, ns int64) {
+	if ns < 0 {
+		w.WriteByte('-')
+		ns = -ns
+	}
+	fmt.Fprintf(w, "%d.%03d", ns/1000, ns%1000)
+}
+
+// WriteChromeTrace writes runs as Chrome trace_event JSON (the
+// {"traceEvents": [...]} object form, loadable in Perfetto and
+// chrome://tracing). Output is byte-deterministic for a given runs
+// slice: run order is the caller's (Collector.Runs is label-sorted),
+// metadata is emitted sorted, and events keep recording order.
+func WriteChromeTrace(w io.Writer, runs []Run) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.WriteString("{\"traceEvents\":[\n")
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+	}
+
+	for i, run := range runs {
+		// Process metadata: name the trace process after the run label.
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`,
+			i, mustJSON(run.Label))
+
+		// Discover tracks and name them before emitting their events.
+		type track struct{ node, pid, comp int }
+		seen := map[track]bool{}
+		tracks := []track{}
+		for _, ev := range run.Events {
+			t := track{int(ev.Node), int(ev.PID), componentIDs[ev.Kind.Component()]}
+			if !seen[t] {
+				seen[t] = true
+				tracks = append(tracks, t)
+			}
+		}
+		sort.Slice(tracks, func(a, b int) bool {
+			ta, tb := tracks[a], tracks[b]
+			return chromeTID(ta.node, ta.pid, ta.comp) < chromeTID(tb.node, tb.pid, tb.comp)
+		})
+		for _, t := range tracks {
+			name := fmt.Sprintf("n%d/p%d/%s", t.node, t.pid, compName(t.comp))
+			sep()
+			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+				i, chromeTID(t.node, t.pid, t.comp), mustJSON(name))
+		}
+
+		for _, ev := range run.Events {
+			sep()
+			tid := chromeTID(int(ev.Node), int(ev.PID), componentIDs[ev.Kind.Component()])
+			meta := kindMetas[ev.Kind]
+			if meta.span {
+				fmt.Fprintf(bw, `{"ph":"X","pid":%d,"tid":%d,"name":%s,"cat":%s,"ts":`,
+					i, tid, mustJSON(meta.name), mustJSON(meta.comp))
+				writeMicros(bw, int64(ev.Time))
+				bw.WriteString(`,"dur":`)
+				writeMicros(bw, int64(ev.Dur))
+			} else {
+				fmt.Fprintf(bw, `{"ph":"i","s":"t","pid":%d,"tid":%d,"name":%s,"cat":%s,"ts":`,
+					i, tid, mustJSON(meta.name), mustJSON(meta.comp))
+				writeMicros(bw, int64(ev.Time))
+			}
+			bw.WriteString(`,"args":{`)
+			argFirst := true
+			writeArg := func(name string, v uint64) {
+				if name == "" {
+					return
+				}
+				if !argFirst {
+					bw.WriteByte(',')
+				}
+				argFirst = false
+				fmt.Fprintf(bw, `%s:%d`, mustJSON(name), v)
+			}
+			writeArg(meta.arg, ev.Arg)
+			writeArg(meta.arg2, ev.Arg2)
+			bw.WriteString("}}")
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// compName is the inverse of componentIDs for track naming.
+func compName(id int) string {
+	for name, cid := range componentIDs {
+		if cid == id {
+			return name
+		}
+	}
+	return "unknown"
+}
+
+// mustJSON returns s as a JSON string literal.
+func mustJSON(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Marshalling a string cannot fail.
+		panic(err)
+	}
+	return string(b)
+}
+
+// TraceEvent is the decoded form of one trace_event entry, used by
+// the traceinfo command to analyse recorded runs.
+type TraceEvent struct {
+	Ph   string           `json:"ph"`
+	PID  int              `json:"pid"`
+	TID  int              `json:"tid"`
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	TS   float64          `json:"ts"`
+	Dur  float64          `json:"dur"`
+	Args map[string]int64 `json:"args,omitempty"`
+	// Metadata payload for ph == "M" (args.name).
+	MetaArgs struct {
+		Name string `json:"name"`
+	} `json:"-"`
+}
+
+// TraceFile is a decoded Chrome trace: per-process labels plus events.
+type TraceFile struct {
+	// ProcessNames maps chrome pid -> run label (from process_name
+	// metadata).
+	ProcessNames map[int]string
+	// ThreadNames maps (pid, tid) -> track name.
+	ThreadNames map[[2]int]string
+	// Events holds the non-metadata events in file order.
+	Events []TraceEvent
+}
+
+// ReadChromeTrace parses trace JSON produced by WriteChromeTrace (or
+// any trace in the {"traceEvents": [...]} object form with compatible
+// fields).
+func ReadChromeTrace(r io.Reader) (*TraceFile, error) {
+	var raw struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Args map[string]json.RawMessage
+		} `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("obs: parse chrome trace: %w", err)
+	}
+	tf := &TraceFile{
+		ProcessNames: map[int]string{},
+		ThreadNames:  map[[2]int]string{},
+	}
+	for _, e := range raw.TraceEvents {
+		if e.Ph == "M" {
+			var name string
+			if rawName, ok := e.Args["name"]; ok {
+				if err := json.Unmarshal(rawName, &name); err != nil {
+					return nil, fmt.Errorf("obs: parse %s metadata: %w", e.Name, err)
+				}
+			}
+			switch e.Name {
+			case "process_name":
+				tf.ProcessNames[e.PID] = name
+			case "thread_name":
+				tf.ThreadNames[[2]int{e.PID, e.TID}] = name
+			}
+			continue
+		}
+		ev := TraceEvent{
+			Ph: e.Ph, PID: e.PID, TID: e.TID,
+			Name: e.Name, Cat: e.Cat, TS: e.TS, Dur: e.Dur,
+		}
+		if len(e.Args) > 0 {
+			ev.Args = make(map[string]int64, len(e.Args))
+			for k, v := range e.Args {
+				var n int64
+				if err := json.Unmarshal(v, &n); err == nil {
+					ev.Args[k] = n
+				}
+			}
+		}
+		tf.Events = append(tf.Events, ev)
+	}
+	return tf, nil
+}

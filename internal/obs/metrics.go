@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Prometheus-style text export: event counters per kind plus latency
+// histograms for span kinds. Buckets are fixed log2 boundaries so the
+// output never depends on the data distribution — deterministic for a
+// given event multiset regardless of run merge order (counter addition
+// commutes).
+
+// Histogram buckets: 2^7 .. 2^26 ns (128 ns .. ~67 ms) plus +Inf.
+// The span of interest runs from a single UTLB-Cache probe (~hundreds
+// of ns) up to a pin ioctl storm under an interrupt (~ms).
+const (
+	bucketLow  = 7  // 2^7 = 128 ns
+	bucketHigh = 26 // 2^26 ≈ 67 ms
+	numBuckets = bucketHigh - bucketLow + 1
+)
+
+// Metrics is the aggregate of one or more runs: per-kind counts, and
+// per-kind duration histograms for span kinds.
+type Metrics struct {
+	Count [NumKinds]int64
+	// Hist[k][i] counts events of kind k with Dur <= 2^(bucketLow+i);
+	// the implicit final bucket is +Inf. Sum and counts allow mean
+	// reconstruction.
+	Hist   [NumKinds][numBuckets]int64
+	HistN  [NumKinds]int64 // events above the largest finite bucket land only in +Inf
+	SumDur [NumKinds]int64
+}
+
+// Aggregate folds all events of all runs into one Metrics.
+func Aggregate(runs []Run) *Metrics {
+	m := &Metrics{}
+	for _, run := range runs {
+		for _, ev := range run.Events {
+			m.Count[ev.Kind]++
+			if !ev.Kind.IsSpan() {
+				continue
+			}
+			m.SumDur[ev.Kind] += int64(ev.Dur)
+			m.HistN[ev.Kind]++
+			for i := 0; i < numBuckets; i++ {
+				if int64(ev.Dur) <= 1<<(bucketLow+i) {
+					m.Hist[ev.Kind][i]++
+				}
+			}
+		}
+	}
+	return m
+}
+
+// WritePrometheus writes the metrics in Prometheus text exposition
+// format. Kinds are emitted in taxonomy order; zero-count kinds are
+// skipped so small runs stay readable. Output is byte-deterministic.
+func WritePrometheus(w io.Writer, m *Metrics) error {
+	bw := bufio.NewWriterSize(w, 1<<15)
+
+	bw.WriteString("# HELP utlb_events_total Simulation events by kind.\n")
+	bw.WriteString("# TYPE utlb_events_total counter\n")
+	for k := 1; k < NumKinds; k++ {
+		if m.Count[k] == 0 {
+			continue
+		}
+		meta := kindMetas[k]
+		fmt.Fprintf(bw, "utlb_events_total{kind=%q,comp=%q} %d\n",
+			meta.name, meta.comp, m.Count[k])
+	}
+
+	bw.WriteString("# HELP utlb_event_duration_ns Simulated duration of span events.\n")
+	bw.WriteString("# TYPE utlb_event_duration_ns histogram\n")
+	for k := 1; k < NumKinds; k++ {
+		if m.HistN[k] == 0 {
+			continue
+		}
+		meta := kindMetas[k]
+		for i := 0; i < numBuckets; i++ {
+			fmt.Fprintf(bw, "utlb_event_duration_ns_bucket{kind=%q,le=\"%d\"} %d\n",
+				meta.name, int64(1)<<(bucketLow+i), m.Hist[k][i])
+		}
+		fmt.Fprintf(bw, "utlb_event_duration_ns_bucket{kind=%q,le=\"+Inf\"} %d\n",
+			meta.name, m.HistN[k])
+		fmt.Fprintf(bw, "utlb_event_duration_ns_sum{kind=%q} %d\n", meta.name, m.SumDur[k])
+		fmt.Fprintf(bw, "utlb_event_duration_ns_count{kind=%q} %d\n", meta.name, m.HistN[k])
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,275 @@
+// Package obs is the observability subsystem of the simulation stack:
+// typed, timestamped event recording with per-run buffering, plus
+// exporters for Chrome trace_event JSON (chrome.go) and
+// Prometheus-style text metrics (metrics.go).
+//
+// The paper's evaluation is entirely about *where translation time
+// goes* — host-side lookup vs NIC cache miss vs DMA fill over the I/O
+// bus vs pin/unpin syscalls — so every simulation layer (tlbcache,
+// bus, hostos, nicsim, core, sim, vmmc) can attach a Recorder and emit
+// events carrying its own simulated clock. Recording is strictly
+// observational: attaching a recorder never changes simulated time or
+// results, and the disabled path (a nil Recorder behind a nil check)
+// costs one pointer compare and zero allocations on the hot paths.
+package obs
+
+import (
+	"sort"
+	"sync"
+
+	"utlb/internal/units"
+)
+
+// Kind is the event taxonomy: one value per distinct thing the
+// simulation can do that the paper's evaluation attributes time or
+// counts to.
+type Kind uint8
+
+// The event taxonomy. Components own disjoint kind ranges so a track
+// in the Chrome export maps 1:1 onto a simulation layer.
+const (
+	// KindNone is the zero Kind; never recorded.
+	KindNone Kind = iota
+
+	// User-level UTLB library (core.Lib): bit-vector check outcomes.
+	KindCheckHit
+	KindCheckMiss
+
+	// Shared UTLB-Cache (tlbcache): lookup outcomes and line motion.
+	KindCacheHit
+	KindCacheMiss
+	KindCacheFill
+	KindCacheEvict
+	KindCacheInvalidate
+
+	// Trace-driven simulator (sim): Hill 3C attribution of NI misses.
+	KindMissCompulsory
+	KindMissCapacity
+	KindMissConflict
+
+	// I/O bus (bus): DMA transfers between host DRAM and NIC SRAM.
+	KindDMARead
+	KindDMAWrite
+
+	// Host OS (hostos): pin/unpin ioctls (protection-domain crossing),
+	// their in-kernel interrupt-context variants, and interrupts.
+	KindPin
+	KindUnpin
+	KindKernelPin
+	KindKernelUnpin
+	KindInterrupt
+
+	// NIC (nicsim): interrupt line assertion.
+	KindNICInterrupt
+
+	// UTLB driver (core.Driver): second-level table swap-in (§3.3).
+	KindSwapIn
+
+	// VMMC firmware (vmmc): remote-store page out, deposit in, arrival
+	// notification.
+	KindSend
+	KindRecv
+	KindNotify
+
+	numKinds
+)
+
+// NumKinds reports the number of defined kinds (for exporters).
+const NumKinds = int(numKinds)
+
+// kindMeta is the static description of one kind: display name, the
+// component track it renders on, whether it is a span (has a
+// duration), and the names of its kind-specific arguments.
+type kindMeta struct {
+	name string
+	comp string
+	span bool
+	arg  string // meaning of Event.Arg ("" = unused)
+	arg2 string // meaning of Event.Arg2 ("" = unused)
+}
+
+var kindMetas = [numKinds]kindMeta{
+	KindNone:            {name: "none", comp: "none"},
+	KindCheckHit:        {name: "check_hit", comp: "lib", span: true, arg: "pages"},
+	KindCheckMiss:       {name: "check_miss", comp: "lib", span: true, arg: "pages"},
+	KindCacheHit:        {name: "cache_hit", comp: "cache", arg: "vpn", arg2: "probes"},
+	KindCacheMiss:       {name: "cache_miss", comp: "cache", arg: "vpn", arg2: "probes"},
+	KindCacheFill:       {name: "cache_fill", comp: "cache", arg: "vpn"},
+	KindCacheEvict:      {name: "cache_evict", comp: "cache", arg: "vpn"},
+	KindCacheInvalidate: {name: "cache_invalidate", comp: "cache", arg: "vpn", arg2: "count"},
+	KindMissCompulsory:  {name: "miss_compulsory", comp: "sim", arg: "vpn"},
+	KindMissCapacity:    {name: "miss_capacity", comp: "sim", arg: "vpn"},
+	KindMissConflict:    {name: "miss_conflict", comp: "sim", arg: "vpn"},
+	KindDMARead:         {name: "dma_read", comp: "bus", span: true, arg: "bytes"},
+	KindDMAWrite:        {name: "dma_write", comp: "bus", span: true, arg: "bytes"},
+	KindPin:             {name: "host_pin", comp: "host", span: true, arg: "pages"},
+	KindUnpin:           {name: "host_unpin", comp: "host", span: true, arg: "pages"},
+	KindKernelPin:       {name: "host_pin_intr", comp: "host", span: true, arg: "pages"},
+	KindKernelUnpin:     {name: "host_unpin_intr", comp: "host", span: true, arg: "pages"},
+	KindInterrupt:       {name: "interrupt", comp: "host", span: true},
+	KindNICInterrupt:    {name: "nic_interrupt", comp: "nic", span: true},
+	KindSwapIn:          {name: "table_swapin", comp: "host", arg: "vpn"},
+	KindSend:            {name: "vmmc_send", comp: "vmmc", arg: "bytes"},
+	KindRecv:            {name: "vmmc_recv", comp: "vmmc", arg: "bytes"},
+	KindNotify:          {name: "vmmc_notify", comp: "vmmc", arg: "bytes"},
+}
+
+// componentIDs gives each component track a small stable integer for
+// the Chrome export's tid computation.
+var componentIDs = map[string]int{
+	"none": 0, "lib": 1, "cache": 2, "sim": 3,
+	"bus": 4, "host": 5, "nic": 6, "vmmc": 7,
+}
+
+// String reports the kind's snake_case display name.
+func (k Kind) String() string {
+	if int(k) >= NumKinds {
+		return "invalid"
+	}
+	return kindMetas[k].name
+}
+
+// Component reports the simulation layer the kind belongs to.
+func (k Kind) Component() string {
+	if int(k) >= NumKinds {
+		return "invalid"
+	}
+	return kindMetas[k].comp
+}
+
+// IsSpan reports whether events of this kind carry a duration.
+func (k Kind) IsSpan() bool {
+	return int(k) < NumKinds && kindMetas[k].span
+}
+
+// Event is one recorded occurrence. It is a plain value: recording
+// never allocates, and recorders must not retain pointers into it
+// (there are none).
+type Event struct {
+	// Time is the event start on the recording component's simulated
+	// clock (host clock for host/lib events, NIC clock for cache, bus,
+	// nic and vmmc events).
+	Time units.Time
+	// Dur is the simulated duration for span kinds; 0 for instants.
+	Dur units.Time
+	// Arg and Arg2 are kind-specific (VPN, byte count, page count,
+	// probe count — see the kind taxonomy).
+	Arg  uint64
+	Arg2 uint64
+	// PID is the process the event belongs to; 0 for system-wide
+	// events (bus transfers, interrupts not tied to a process).
+	PID units.ProcID
+	// Node is the simulated cluster node; runs with one node use 0.
+	Node units.NodeID
+	// Kind says what happened.
+	Kind Kind
+}
+
+// Recorder receives events. Components hold a Recorder field that is
+// nil by default and guard every Record call with a nil check, so the
+// disabled path is one pointer compare — the zero-overhead default.
+type Recorder interface {
+	Record(Event)
+}
+
+// Nop is an explicit no-op Recorder for callers that want a non-nil
+// value with disabled semantics.
+type Nop struct{}
+
+// Record discards the event.
+func (Nop) Record(Event) {}
+
+// Buffer is the buffered Recorder: it appends every event to an
+// in-memory slice, in recording order. A Buffer is single-goroutine
+// (one per simulation run / worker); use a Collector to hand out one
+// Buffer per concurrent run and merge them deterministically.
+type Buffer struct {
+	label  string
+	events []Event
+}
+
+// NewBuffer returns an empty buffer labelled label (the run identity
+// used for deterministic merging and Chrome process naming).
+func NewBuffer(label string) *Buffer { return &Buffer{label: label} }
+
+// Record appends the event.
+func (b *Buffer) Record(ev Event) { b.events = append(b.events, ev) }
+
+// Label reports the buffer's run label.
+func (b *Buffer) Label() string { return b.label }
+
+// Events returns the recorded events in recording order. The slice is
+// owned by the buffer; treat it as read-only.
+func (b *Buffer) Events() []Event { return b.events }
+
+// Len reports how many events have been recorded.
+func (b *Buffer) Len() int { return len(b.events) }
+
+// Run is one labelled event stream, the unit the exporters consume.
+type Run struct {
+	Label  string
+	Events []Event
+}
+
+// Run converts the buffer to an exporter Run.
+func (b *Buffer) Run() Run { return Run{Label: b.label, Events: b.events} }
+
+// Collector hands out per-run Buffers to concurrent simulation
+// workers and merges them deterministically: Runs() orders buffers by
+// label, never by registration order, so the merged output is
+// byte-identical at any worker-pool width. Labels must therefore be
+// deterministic and unique per run (the experiment layer builds them
+// from experiment/app/config/node names).
+type Collector struct {
+	mu      sync.Mutex
+	buffers map[string]*Buffer
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{buffers: make(map[string]*Buffer)}
+}
+
+// Buffer returns the buffer registered under label, creating it on
+// first use. Safe for concurrent callers; the returned buffer itself
+// is single-goroutine (each concurrent run must use its own label).
+func (c *Collector) Buffer(label string) *Buffer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.buffers[label]; ok {
+		return b
+	}
+	b := NewBuffer(label)
+	c.buffers[label] = b
+	return b
+}
+
+// Runs returns every non-empty buffer as a Run, sorted by label —
+// the deterministic merge order.
+func (c *Collector) Runs() []Run {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	labels := make([]string, 0, len(c.buffers))
+	for label, b := range c.buffers {
+		if b.Len() > 0 {
+			labels = append(labels, label)
+		}
+	}
+	sort.Strings(labels)
+	runs := make([]Run, len(labels))
+	for i, label := range labels {
+		runs[i] = c.buffers[label].Run()
+	}
+	return runs
+}
+
+// Events reports the total event count across all buffers.
+func (c *Collector) Events() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, b := range c.buffers {
+		n += b.Len()
+	}
+	return n
+}

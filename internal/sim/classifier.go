@@ -50,21 +50,35 @@ func newClassifier(capacity int) *classifier {
 	}
 }
 
+// missClass is the 3C attribution of one miss.
+type missClass uint8
+
+const (
+	classNone missClass = iota
+	classCompulsory
+	classCapacity
+	classConflict
+)
+
 // classify records a reference to (pid, vpn) and, when miss is true,
-// attributes it in res.
-func (c *classifier) classify(res *Result, pid units.ProcID, vpn units.VPN, miss bool) {
+// attributes it in res, reporting the attribution (classNone on hits)
+// so callers can emit per-miss events.
+func (c *classifier) classify(res *Result, pid units.ProcID, vpn units.VPN, miss bool) missClass {
 	key := tlbcache.Key{PID: pid, VPN: vpn}
 	first, shadowHit := c.touch(key)
 	if !miss {
-		return
+		return classNone
 	}
 	switch {
 	case first:
 		res.Compulsory++
+		return classCompulsory
 	case !shadowHit:
 		res.Capacity++
+		return classCapacity
 	default:
 		res.Conflict++
+		return classConflict
 	}
 }
 

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"testing"
+
+	"utlb/internal/obs"
+)
+
+// TestRecorderDoesNotChangeResult runs the same trace with and without
+// a recorder attached, for both mechanisms, and demands every Result
+// field match: recording must be strictly observational.
+func TestRecorderDoesNotChangeResult(t *testing.T) {
+	tr := smallTrace(t, "fft", 0.05)
+	for _, mech := range []Mechanism{UTLB, Interrupt} {
+		cfg := DefaultConfig()
+		cfg.Mechanism = mech
+		cfg.CacheEntries = 1024
+		cfg.Seed = 42
+
+		plain, err := Run(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := obs.NewBuffer("observed")
+		cfg.Recorder = buf
+		observed, err := Run(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain.Config, observed.Config = Config{}, Config{}
+		if plain != observed {
+			t.Errorf("mechanism %v: recording changed the result:\nplain:    %+v\nobserved: %+v",
+				mech, plain, observed)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("mechanism %v: no events recorded", mech)
+		}
+	}
+}
+
+// TestRecordedEventsMatchResult cross-checks the recorded timeline
+// against the Result counters: 3C instants must agree with the
+// Compulsory/Capacity/Conflict totals, cache misses with NIMisses,
+// and every event must carry a valid kind.
+func TestRecordedEventsMatchResult(t *testing.T) {
+	tr := smallTrace(t, "fft", 0.05)
+	cfg := DefaultConfig()
+	cfg.CacheEntries = 1024
+	cfg.Seed = 42
+	buf := obs.NewBuffer("x")
+	cfg.Recorder = buf
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[obs.Kind]int64{}
+	var lastTime = map[obs.Kind]int64{}
+	for _, ev := range buf.Events() {
+		if ev.Kind == obs.KindNone || int(ev.Kind) >= obs.NumKinds {
+			t.Fatalf("invalid kind %d recorded", ev.Kind)
+		}
+		if ev.Kind.IsSpan() {
+			if ev.Dur < 0 {
+				t.Fatalf("%s span with negative duration %d", ev.Kind, ev.Dur)
+			}
+		} else if ev.Dur != 0 {
+			t.Fatalf("instant %s carries duration %d", ev.Kind, ev.Dur)
+		}
+		if int64(ev.Time) < lastTime[ev.Kind] {
+			t.Fatalf("%s events not time-monotone", ev.Kind)
+		}
+		lastTime[ev.Kind] = int64(ev.Time)
+		counts[ev.Kind]++
+	}
+	if counts[obs.KindMissCompulsory] != res.Compulsory ||
+		counts[obs.KindMissCapacity] != res.Capacity ||
+		counts[obs.KindMissConflict] != res.Conflict {
+		t.Errorf("3C events (%d/%d/%d) disagree with result (%d/%d/%d)",
+			counts[obs.KindMissCompulsory], counts[obs.KindMissCapacity], counts[obs.KindMissConflict],
+			res.Compulsory, res.Capacity, res.Conflict)
+	}
+	if counts[obs.KindCacheMiss] != res.NIMisses {
+		t.Errorf("cache_miss events %d != NIMisses %d", counts[obs.KindCacheMiss], res.NIMisses)
+	}
+	if counts[obs.KindCacheHit]+counts[obs.KindCacheMiss] != res.NIRefs {
+		t.Errorf("cache lookups %d != NIRefs %d",
+			counts[obs.KindCacheHit]+counts[obs.KindCacheMiss], res.NIRefs)
+	}
+	if got := counts[obs.KindCheckMiss]; got != res.CheckMisses {
+		t.Errorf("check_miss events %d != CheckMisses %d", got, res.CheckMisses)
+	}
+}
+
+// TestClassifierObsAttribution pins the classifier's class mapping.
+func TestClassifierObsAttribution(t *testing.T) {
+	cls := newClassifier(2)
+	var res Result
+	if c := cls.classify(&res, 1, 10, true); c != classCompulsory {
+		t.Errorf("first touch = %v, want compulsory", c)
+	}
+	if c := cls.classify(&res, 1, 10, false); c != classNone {
+		t.Errorf("hit attributed %v", c)
+	}
+	cls.classify(&res, 1, 11, true)
+	cls.classify(&res, 1, 12, true)
+	cls.classify(&res, 1, 13, true)
+	// 10 was evicted from the 2-entry shadow: re-missing it is capacity.
+	if c := cls.classify(&res, 1, 10, true); c != classCapacity {
+		t.Errorf("re-touch after eviction = %v, want capacity", c)
+	}
+	// A miss while resident in the shadow cache is a conflict.
+	if c := cls.classify(&res, 1, 10, true); c != classConflict {
+		t.Errorf("miss while shadow-resident = %v, want conflict", c)
+	}
+}

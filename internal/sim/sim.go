@@ -16,6 +16,7 @@ import (
 	"utlb/internal/hostos"
 	"utlb/internal/intrbase"
 	"utlb/internal/nicsim"
+	"utlb/internal/obs"
 	"utlb/internal/tlbcache"
 	"utlb/internal/trace"
 	"utlb/internal/units"
@@ -61,6 +62,13 @@ type Config struct {
 	PinLimitPages int
 	// Seed drives any randomised policy.
 	Seed int64
+	// Recorder, when non-nil, receives the run's event timeline from
+	// every simulated layer (library checks, cache traffic, DMA, pins,
+	// interrupts, 3C miss attribution). nil — the default — disables
+	// recording at zero cost: the hot paths see one nil pointer
+	// compare. Attaching a recorder never changes simulated time or
+	// any Result field.
+	Recorder obs.Recorder
 }
 
 // DefaultConfig mirrors the paper's baseline configuration: an 8 K
@@ -219,8 +227,40 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 	nic := nicsim.New(0, units.MB, nicClock, b, nicsim.DefaultCosts())
 	cacheCfg := tlbcache.Config{Entries: cfg.CacheEntries, Ways: cfg.Ways, IndexOffset: cfg.IndexOffset}
 
+	recorder := cfg.Recorder
+	if recorder != nil {
+		host.SetRecorder(recorder)
+		b.SetRecorder(recorder, 0)
+		nic.SetRecorder(recorder)
+	}
+
 	cls := newClassifier(cfg.CacheEntries)
 	res := Result{Config: cfg}
+
+	// classifyObs attributes a reference in res and, when recording,
+	// emits an instant event for each classified miss on the sim track
+	// at the current NIC time.
+	classifyObs := func(pid units.ProcID, vpn units.VPN, miss bool) {
+		class := cls.classify(&res, pid, vpn, miss)
+		if recorder == nil || class == classNone {
+			return
+		}
+		var kind obs.Kind
+		switch class {
+		case classCompulsory:
+			kind = obs.KindMissCompulsory
+		case classCapacity:
+			kind = obs.KindMissCapacity
+		default:
+			kind = obs.KindMissConflict
+		}
+		recorder.Record(obs.Event{
+			Time: nicClock.Now(),
+			Arg:  uint64(vpn),
+			PID:  pid,
+			Kind: kind,
+		})
+	}
 
 	spawn := func(pid units.ProcID) (*hostos.Process, error) {
 		return host.Spawn(pid, fmt.Sprintf("proc%d", pid),
@@ -233,6 +273,9 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 		if err != nil {
 			return res, err
 		}
+		if recorder != nil {
+			drv.Cache().Instrument(recorder, nicClock, 0)
+		}
 		translator := core.NewTranslator(drv, cfg.Prefetch)
 		libs := make(map[units.ProcID]*core.Lib)
 		for _, pid := range sorted.PIDs() {
@@ -242,6 +285,7 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 			}
 			lib, err := core.NewLib(drv, proc, core.LibConfig{
 				Policy: cfg.Policy, PolicySeed: cfg.Seed, Prepin: cfg.Prepin,
+				Recorder: recorder,
 			})
 			if err != nil {
 				return res, err
@@ -259,7 +303,7 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 			for i := 0; i < pages; i++ {
 				vpn := first + units.VPN(i)
 				_, info := translator.Translate(rec.PID, vpn)
-				cls.classify(&res, rec.PID, vpn, !info.Hit)
+				classifyObs(rec.PID, vpn, !info.Hit)
 			}
 		}
 		for _, lib := range libs {
@@ -278,6 +322,9 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 		mech, err := intrbase.New(host, nic, cacheCfg)
 		if err != nil {
 			return res, err
+		}
+		if recorder != nil {
+			mech.Cache().Instrument(recorder, nicClock, 0)
 		}
 		for _, pid := range sorted.PIDs() {
 			proc, err := spawn(pid)
@@ -298,7 +345,7 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 				if _, err := mech.Translate(rec.PID, vpn); err != nil {
 					return res, fmt.Errorf("sim: translate %v/%#x: %w", rec.PID, vpn, err)
 				}
-				cls.classify(&res, rec.PID, vpn, mech.Misses() > missBefore)
+				classifyObs(rec.PID, vpn, mech.Misses() > missBefore)
 			}
 		}
 		st := mech.Stats()

@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrent hammers one counter and a shared set from many
+// goroutines; run under -race (make race / CI) this doubles as the
+// data-race proof for the atomics + mutex design.
+func TestCounterConcurrent(t *testing.T) {
+	const workers = 8
+	const perWorker = 10000
+
+	c := NewCounter("hits")
+	s := NewSet()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				c.Add(2)
+				// Every worker creates the same names: get-or-create
+				// must serialise, increments must not be lost.
+				s.Counter("shared").Inc()
+				s.Counter("mine").Add(1)
+				if i%1000 == 0 {
+					_ = s.Snapshot()
+					_ = s.Names()
+					_ = c.Value()
+					_ = c.Rate(100)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker*3 {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker*3)
+	}
+	snap := s.Snapshot()
+	if snap["shared"] != workers*perWorker || snap["mine"] != workers*perWorker {
+		t.Errorf("set counts = %v", snap)
+	}
+	if len(s.Names()) != 2 {
+		t.Errorf("names = %v", s.Names())
+	}
+	s.Reset()
+	if s.Counter("shared").Value() != 0 {
+		t.Error("reset missed a counter")
+	}
+}

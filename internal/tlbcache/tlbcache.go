@@ -13,6 +13,7 @@ package tlbcache
 import (
 	"fmt"
 
+	"utlb/internal/obs"
 	"utlb/internal/units"
 )
 
@@ -80,6 +81,15 @@ type Cache struct {
 
 	hits   int64
 	misses int64
+
+	// Observability: when rec is non-nil, lookups, fills, evictions and
+	// invalidations are recorded against clock (the NIC clock of the
+	// owning node). The cache is the single chokepoint every translation
+	// path shares, so instrumenting here covers the UTLB, interrupt and
+	// VMMC firmware paths alike.
+	rec     obs.Recorder
+	recTime *units.Clock
+	node    units.NodeID
 }
 
 // New returns a cache for cfg. It panics on an invalid configuration:
@@ -97,6 +107,16 @@ func New(cfg Config) *Cache {
 
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
+
+// Instrument attaches r to the cache: lookup outcomes and line motion
+// are recorded with timestamps read from clock, tagged with node.
+// Passing r == nil detaches. Timing is unaffected either way — the
+// cache charges no time itself; its callers do.
+func (c *Cache) Instrument(r obs.Recorder, clock *units.Clock, node units.NodeID) {
+	c.rec = r
+	c.recTime = clock
+	c.node = node
+}
 
 // SRAMBytes reports the cache's NIC SRAM footprint.
 func (c *Cache) SRAMBytes() int { return c.cfg.Entries * EntryBytes }
@@ -135,11 +155,30 @@ func (c *Cache) Lookup(k Key) Result {
 		if set[i].valid && set[i].key == k {
 			set[i].used = c.tick
 			c.hits++
+			if c.rec != nil {
+				c.record(obs.KindCacheHit, k, uint64(i+1))
+			}
 			return Result{Hit: true, PFN: set[i].pfn, Probes: i + 1}
 		}
 	}
 	c.misses++
+	if c.rec != nil {
+		c.record(obs.KindCacheMiss, k, uint64(len(set)))
+	}
 	return Result{Hit: false, PFN: units.NoPFN, Probes: len(set)}
+}
+
+// record emits one cache event; callers nil-check c.rec first so the
+// disabled path never makes this call.
+func (c *Cache) record(kind obs.Kind, k Key, arg2 uint64) {
+	c.rec.Record(obs.Event{
+		Time: c.recTime.Now(),
+		Arg:  uint64(k.VPN),
+		Arg2: arg2,
+		PID:  k.PID,
+		Node: c.node,
+		Kind: kind,
+	})
 }
 
 // Peek reports whether k is cached without touching LRU state or
@@ -180,6 +219,12 @@ func (c *Cache) Insert(k Key, pfn units.PFN) (evicted Key, wasEvicted bool) {
 		evicted, wasEvicted = set[victim].key, true
 	}
 	set[victim] = line{valid: true, key: k, pfn: pfn, used: c.tick}
+	if c.rec != nil {
+		if wasEvicted {
+			c.record(obs.KindCacheEvict, evicted, 0)
+		}
+		c.record(obs.KindCacheFill, k, 0)
+	}
 	return evicted, wasEvicted
 }
 
@@ -191,6 +236,9 @@ func (c *Cache) Invalidate(k Key) bool {
 	for i := range set {
 		if set[i].valid && set[i].key == k {
 			set[i] = line{}
+			if c.rec != nil {
+				c.record(obs.KindCacheInvalidate, k, 1)
+			}
 			return true
 		}
 	}
@@ -206,6 +254,10 @@ func (c *Cache) InvalidateProcess(pid units.ProcID) int {
 			c.sets[i] = line{}
 			n++
 		}
+	}
+	if c.rec != nil && n > 0 {
+		// One event for the sweep: Arg2 carries the entry count.
+		c.record(obs.KindCacheInvalidate, Key{PID: pid}, uint64(n))
 	}
 	return n
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"utlb/internal/obs"
 	"utlb/internal/units"
 )
 
@@ -26,6 +27,18 @@ const (
 
 func dataTag(buf BufferID, offset int) uint64 {
 	return tagData | uint64(buf&0xffffff)<<32 | uint64(uint32(offset))
+}
+
+// recordFirmware emits one vmmc-track instant at the current NIC time;
+// callers nil-check n.rec first.
+func (n *Node) recordFirmware(kind obs.Kind, pid units.ProcID, bytes int) {
+	n.rec.Record(obs.Event{
+		Time: n.nic.Clock().Now(),
+		Arg:  uint64(bytes),
+		PID:  pid,
+		Node: n.id,
+		Kind: kind,
+	})
 }
 
 func respTag(reqID uint32, offset int) uint64 {
@@ -55,6 +68,9 @@ func (n *Node) firmwareSend(pid units.ProcID, dst *Imported, offset int, va unit
 			return fmt.Errorf("vmmc: sending page %#x: %w", vpn, err)
 		}
 		n.pagesSent++
+		if n.rec != nil {
+			n.recordFirmware(obs.KindSend, pid, chunk)
+		}
 		done += chunk
 	}
 	return nil
@@ -134,6 +150,9 @@ func (n *Node) deposit(buf BufferID, offset int, payload []byte, from units.Node
 	n.pagesReceived++
 	exp.received += int64(len(payload))
 	exp.deposits++
+	if n.rec != nil {
+		n.recordFirmware(obs.KindRecv, exp.owner, len(payload))
+	}
 	n.notifyOwner(exp, buf, from, offset, len(payload), arrival)
 }
 
@@ -172,6 +191,9 @@ func (n *Node) depositLocal(st *fetchState, offset int, payload []byte) {
 	}
 	n.writeUser(st.proc.PID(), st.va+units.VAddr(offset), payload)
 	n.pagesReceived++
+	if n.rec != nil {
+		n.recordFirmware(obs.KindRecv, st.proc.PID(), len(payload))
+	}
 	st.nreceived += len(payload)
 	if st.nreceived >= st.nbytes {
 		st.done = true

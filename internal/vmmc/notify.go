@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"utlb/internal/fabric"
+	"utlb/internal/obs"
 	"utlb/internal/units"
 )
 
@@ -66,6 +67,9 @@ func (n *Node) notifyOwner(exp *export, buf BufferID, from units.NodeID, offset,
 	owner.notifications = append(owner.notifications, Notification{
 		Buf: buf, From: from, Offset: offset, Bytes: nbytes, Arrival: arrival,
 	})
+	if n.rec != nil {
+		n.recordFirmware(obs.KindNotify, exp.owner, nbytes)
+	}
 }
 
 // RemapCost is the simulated time the mapper needs to compute and

@@ -21,6 +21,7 @@ import (
 	"utlb/internal/fabric"
 	"utlb/internal/hostos"
 	"utlb/internal/nicsim"
+	"utlb/internal/obs"
 	"utlb/internal/tlbcache"
 	"utlb/internal/units"
 	"utlb/internal/vm"
@@ -48,6 +49,11 @@ type Options struct {
 	Faults fabric.FaultPlan
 	// RetransmitTimeout for the reliable link layer (default 50 µs).
 	RetransmitTimeout units.Time
+	// Recorder, when non-nil, receives the event timeline of every node
+	// (cache traffic, DMA, pins, interrupts, firmware send/recv/notify).
+	// Cluster construction is single-goroutine per cluster, so one
+	// recorder serves all nodes; events are tagged with their NodeID.
+	Recorder obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -136,6 +142,10 @@ type Node struct {
 	pagesSent     int64
 	pagesReceived int64
 	remaps        int64
+
+	// rec, when non-nil, receives firmware-level events (send, recv,
+	// notify) on the vmmc track.
+	rec obs.Recorder
 }
 
 type export struct {
@@ -170,6 +180,12 @@ func newNode(c *Cluster, id units.NodeID, opts Options) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Recorder != nil {
+		host.SetRecorder(opts.Recorder)
+		ioBus.SetRecorder(opts.Recorder, id)
+		nic.SetRecorder(opts.Recorder)
+		drv.Cache().Instrument(opts.Recorder, nicClock, id)
+	}
 	n := &Node{
 		cluster:      c,
 		id:           id,
@@ -181,6 +197,7 @@ func newNode(c *Cluster, id units.NodeID, opts Options) (*Node, error) {
 		exports:      make(map[BufferID]*export),
 		pendingFetch: make(map[uint32]*fetchState),
 		nextBuf:      1,
+		rec:          opts.Recorder,
 	}
 	n.ep = fabric.NewEndpoint(id, c.net, nicClock, opts.RetransmitTimeout, n.receive)
 	return n, nil
@@ -211,6 +228,9 @@ func (n *Node) NewProcess(pid units.ProcID, name string, pinLimitPages int, cfg 
 	proc, err := n.host.Spawn(pid, name, vm.NewSpace(pid, n.host.Memory(), pinLimitPages))
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = n.rec
 	}
 	lib, err := core.NewLib(n.drv, proc, cfg)
 	if err != nil {

@@ -1,0 +1,42 @@
+package utlb_test
+
+import (
+	"testing"
+
+	"utlb"
+)
+
+// TestSimulateUTLBDisabledRecorderAllocs is the benchmark-backed
+// zero-overhead guard for the observability subsystem: with no
+// recorder attached, a full SimulateUTLB run must allocate no more
+// than it did before instrumentation existed (BENCH_baseline.json
+// records 1695 allocs/op for this workload; a little headroom absorbs
+// toolchain drift). Every record site is a single nil compare when
+// disabled, so any regression here means an instrumentation path
+// allocates unconditionally.
+func TestSimulateUTLBDisabledRecorderAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a benchmark")
+	}
+	tr, err := utlb.GenerateTrace("water-spatial", 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := utlb.DefaultSimConfig()
+	cfg.CacheEntries = 1024
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := utlb.Simulate(tr, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	const baseline = 1695 // allocs/op before internal/obs existed
+	if got := res.AllocsPerOp(); got > baseline+baseline/100 {
+		t.Errorf("disabled-recorder SimulateUTLB allocates %d/op, baseline %d: instrumentation leaked onto the hot path", got, baseline)
+	} else {
+		t.Logf("disabled-recorder SimulateUTLB: %d allocs/op (baseline %d), %d ns/op",
+			got, baseline, res.NsPerOp())
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"utlb/internal/core"
 	"utlb/internal/experiments"
 	"utlb/internal/fabric"
+	"utlb/internal/obs"
 	"utlb/internal/parallel"
 	"utlb/internal/sim"
 	"utlb/internal/svm"
@@ -182,6 +183,45 @@ func RunTranspose(s *SVM, n int) error { return svm.RunTranspose(s, n) }
 
 // RunSumReduce executes a lock-based reduction kernel over SVM.
 func RunSumReduce(s *SVM, n int) (uint32, error) { return svm.RunSumReduce(s, n) }
+
+// Observability layer: typed event recording across every simulation
+// component, with Chrome-trace and Prometheus-text exporters. Attach a
+// Recorder via SimConfig.Recorder or ClusterOptions.Recorder (single
+// runs), or an EventCollector via ExperimentOptions.Obs (experiment
+// sweeps, one labelled buffer per run, deterministic merge).
+type (
+	// Recorder receives simulation events; nil disables recording at
+	// zero cost.
+	Recorder = obs.Recorder
+	// Event is one recorded occurrence (see obs.Kind for the taxonomy).
+	Event = obs.Event
+	// EventKind says what happened.
+	EventKind = obs.Kind
+	// EventBuffer is the buffered single-run Recorder.
+	EventBuffer = obs.Buffer
+	// EventCollector hands out per-run buffers and merges them
+	// deterministically (sorted by label, independent of scheduling).
+	EventCollector = obs.Collector
+	// EventRun is one labelled event stream, the exporters' input unit.
+	EventRun = obs.Run
+)
+
+// NewEventBuffer returns an empty single-run event buffer.
+func NewEventBuffer(label string) *EventBuffer { return obs.NewBuffer(label) }
+
+// NewEventCollector returns an empty collector for concurrent runs.
+func NewEventCollector() *EventCollector { return obs.NewCollector() }
+
+// WriteChromeTrace writes runs as Chrome trace_event JSON, loadable in
+// Perfetto or chrome://tracing. Byte-deterministic.
+func WriteChromeTrace(w io.Writer, runs []EventRun) error { return obs.WriteChromeTrace(w, runs) }
+
+// WriteMetrics aggregates runs and writes Prometheus-style text
+// metrics: per-kind event counters and log-scale latency histograms
+// for span kinds. Byte-deterministic.
+func WriteMetrics(w io.Writer, runs []EventRun) error {
+	return obs.WritePrometheus(w, obs.Aggregate(runs))
+}
 
 // Experiment layer.
 

@@ -129,3 +129,78 @@ func TestFacadeUnits(t *testing.T) {
 		t.Error("PageSize")
 	}
 }
+
+// TestFacadeObservability drives the cluster layer with a recorder
+// attached and exports the timeline through both facade exporters: the
+// VMMC send path must surface library checks, cache traffic, firmware
+// send/recv/notify and DMA as events, and both outputs must parse /
+// render deterministically.
+func TestFacadeObservability(t *testing.T) {
+	buf := utlb.NewEventBuffer("cluster/send")
+	cluster, err := utlb.NewCluster(utlb.ClusterOptions{Nodes: 2, Recorder: buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := cluster.Node(0).NewProcess(1, "sender", 0, utlb.LibConfig{Policy: utlb.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver, err := cluster.Node(1).NewProcess(2, "receiver", 0, utlb.LibConfig{Policy: utlb.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufID, err := receiver.Export(0x2000_0000, utlb.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := receiver.EnableNotifications(bufID); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := sender.Import(1, bufID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("observed end to end")
+	sender.Write(0x1000_0000, msg)
+	if err := sender.Send(imp, 0, 0x1000_0000, len(msg)); err != nil {
+		t.Fatal(err)
+	}
+
+	if buf.Len() == 0 {
+		t.Fatal("cluster recorded no events")
+	}
+	var kinds []string
+	seen := map[string]bool{}
+	for _, ev := range buf.Events() {
+		if !seen[ev.Kind.String()] {
+			seen[ev.Kind.String()] = true
+			kinds = append(kinds, ev.Kind.String())
+		}
+	}
+	for _, want := range []string{"vmmc_send", "vmmc_recv", "vmmc_notify", "dma_read", "host_pin"} {
+		if !seen[want] {
+			t.Errorf("missing %q in recorded kinds %v", want, kinds)
+		}
+	}
+
+	runs := []utlb.EventRun{buf.Run()}
+	var chrome, chrome2, metrics strings.Builder
+	if err := utlb.WriteChromeTrace(&chrome, runs); err != nil {
+		t.Fatal(err)
+	}
+	if err := utlb.WriteMetrics(&metrics, runs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(chrome.String(), `{"traceEvents":[`) {
+		t.Error("chrome export malformed")
+	}
+	if !strings.Contains(metrics.String(), `utlb_events_total{kind="vmmc_send",comp="vmmc"}`) {
+		t.Errorf("metrics missing send counter:\n%s", metrics.String())
+	}
+	if err := utlb.WriteChromeTrace(&chrome2, runs); err != nil {
+		t.Fatal(err)
+	}
+	if chrome.String() != chrome2.String() {
+		t.Error("chrome export not deterministic")
+	}
+}
