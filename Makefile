@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-json obs-smoke clean
+# Where obs-smoke and bench-compare leave their outputs; CI uploads
+# this directory as a build artifact.
+ARTIFACTS ?= artifacts
+
+.PHONY: all check vet build test race bench bench-json bench-compare obs-smoke clean
 
 all: check
 
@@ -29,21 +33,34 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson
 
+# Bench-regression smoke: record fresh numbers and diff them against
+# the committed baseline. CI runs this warn-only (continue-on-error) —
+# shared runners are too noisy for a hard gate, but the table in the
+# log makes regressions visible at a glance.
+bench-compare:
+	mkdir -p $(ARTIFACTS)
+	$(GO) run ./cmd/benchjson > $(ARTIFACTS)/bench-fresh.json
+	$(GO) run ./cmd/benchjson -compare BENCH_pr3.json $(ARTIFACTS)/bench-fresh.json
+
 # Observability smoke: the exporter golden-file tests (any drift in the
-# Chrome-trace or Prometheus output fails the diff), then an end-to-end
-# recorded run through the CLI, checked for determinism across
-# sequential and parallel execution, and fed back through traceinfo.
+# Chrome-trace, Prometheus or analysis output fails the diff), then an
+# end-to-end recorded run through the CLI, checked for determinism
+# across sequential and parallel execution, and fed back through
+# traceinfo. Artifacts stay in $(ARTIFACTS)/obs-smoke so CI can upload
+# the trace, metrics and analysis for inspection.
 obs-smoke:
-	$(GO) test ./internal/obs
-	rm -rf /tmp/utlb-obs-smoke && mkdir -p /tmp/utlb-obs-smoke
+	$(GO) test ./internal/obs ./internal/obs/analyze
+	rm -rf $(ARTIFACTS)/obs-smoke && mkdir -p $(ARTIFACTS)/obs-smoke
 	$(GO) run ./cmd/utlbsim -exp t6 -scale 0.05 -parallel 1 \
-		-trace-out /tmp/utlb-obs-smoke/run1.json -metrics-out /tmp/utlb-obs-smoke/m1.txt >/dev/null
+		-trace-out $(ARTIFACTS)/obs-smoke/run1.json -metrics-out $(ARTIFACTS)/obs-smoke/m1.txt \
+		-analyze-out $(ARTIFACTS)/obs-smoke/analyze1.json >/dev/null
 	$(GO) run ./cmd/utlbsim -exp t6 -scale 0.05 -parallel 8 \
-		-trace-out /tmp/utlb-obs-smoke/run8.json -metrics-out /tmp/utlb-obs-smoke/m8.txt >/dev/null
-	diff /tmp/utlb-obs-smoke/run1.json /tmp/utlb-obs-smoke/run8.json
-	diff /tmp/utlb-obs-smoke/m1.txt /tmp/utlb-obs-smoke/m8.txt
-	$(GO) run ./cmd/traceinfo -events /tmp/utlb-obs-smoke/run1.json | head -5
-	rm -rf /tmp/utlb-obs-smoke
+		-trace-out $(ARTIFACTS)/obs-smoke/run8.json -metrics-out $(ARTIFACTS)/obs-smoke/m8.txt \
+		-analyze-out $(ARTIFACTS)/obs-smoke/analyze8.json >/dev/null
+	diff $(ARTIFACTS)/obs-smoke/run1.json $(ARTIFACTS)/obs-smoke/run8.json
+	diff $(ARTIFACTS)/obs-smoke/m1.txt $(ARTIFACTS)/obs-smoke/m8.txt
+	diff $(ARTIFACTS)/obs-smoke/analyze1.json $(ARTIFACTS)/obs-smoke/analyze8.json
+	$(GO) run ./cmd/traceinfo -events $(ARTIFACTS)/obs-smoke/run1.json | head -5
 
 clean:
 	$(GO) clean ./...

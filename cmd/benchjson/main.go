@@ -10,6 +10,12 @@
 // Usage:
 //
 //	go run ./cmd/benchjson [-scale 0.05] > numbers.json
+//	go run ./cmd/benchjson -compare old.json new.json [-threshold 1.25]
+//
+// -compare prints per-benchmark ns/op and allocs/op deltas between two
+// recorded documents and exits non-zero if any shared benchmark's
+// ns/op regressed by more than the threshold ratio (CI uses this
+// against the committed BENCH_pr3.json).
 package main
 
 import (
@@ -17,13 +23,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"testing"
 
 	"utlb/internal/experiments"
+	"utlb/internal/obs"
 	"utlb/internal/parallel"
 	"utlb/internal/sim"
+	"utlb/internal/units"
 	"utlb/internal/workload"
 )
 
@@ -40,12 +49,98 @@ type entry struct {
 
 func main() {
 	scale := flag.Float64("scale", 0.05, "workload scale for the RunAll benchmarks")
+	compare := flag.Bool("compare", false, "compare two recorded documents: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 1.25, "with -compare, fail when new ns/op exceeds old by this ratio")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		regressed, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(os.Stdout, *scale); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// doc is the on-disk document shape (also produced by run).
+type doc struct {
+	GoMaxProcs int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Scale      float64 `json:"scale"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+func readDoc(path string) (*doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// runCompare prints per-benchmark deltas between two documents and
+// reports whether any shared benchmark's ns/op regressed past the
+// threshold ratio. Benchmarks present in only one document are listed
+// but never fail the comparison.
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (regressed bool, err error) {
+	oldDoc, err := readDoc(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newDoc, err := readDoc(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldBy := make(map[string]entry, len(oldDoc.Benchmarks))
+	for _, e := range oldDoc.Benchmarks {
+		oldBy[e.Name] = e
+	}
+	fmt.Fprintf(w, "%-28s %14s %14s %8s %12s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "allocs old→new")
+	for _, ne := range newDoc.Benchmarks {
+		oe, ok := oldBy[ne.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-28s %14s %14d %8s %12d (new)\n", ne.Name, "-", ne.NsPerOp, "-", ne.AllocsPerOp)
+			continue
+		}
+		delete(oldBy, ne.Name)
+		ratio := 0.0
+		if oe.NsPerOp > 0 {
+			ratio = float64(ne.NsPerOp) / float64(oe.NsPerOp)
+		}
+		mark := ""
+		if ratio > threshold {
+			mark = "  REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-28s %14d %14d %7.2fx %6d→%d%s\n",
+			ne.Name, oe.NsPerOp, ne.NsPerOp, ratio, oe.AllocsPerOp, ne.AllocsPerOp, mark)
+	}
+	for _, oe := range oldDoc.Benchmarks {
+		if _, unmatched := oldBy[oe.Name]; unmatched {
+			fmt.Fprintf(w, "%-28s %14d %14s %8s %12s (removed)\n", oe.Name, oe.NsPerOp, "-", "-", "-")
+		}
+	}
+	if regressed {
+		fmt.Fprintf(w, "\nFAIL: at least one benchmark regressed past %.2fx\n", threshold)
+	}
+	return regressed, nil
 }
 
 func run(w io.Writer, scale float64) error {
@@ -106,13 +201,44 @@ func run(w io.Writer, scale float64) error {
 		entries[len(entries)-1].Speedup = float64(seq.NsPerOp()) / float64(par.NsPerOp())
 	}
 
-	doc := struct {
-		GoMaxProcs int     `json:"gomaxprocs"`
-		NumCPU     int     `json:"num_cpu"`
-		Scale      float64 `json:"scale"`
-		Benchmarks []entry `json:"benchmarks"`
-	}{runtime.GOMAXPROCS(0), runtime.NumCPU(), scale, entries}
+	// Aggregate vs its reference implementation: the bit-twiddled
+	// bucket index against the original per-bucket scan, same 100k
+	// random events.
+	runs := benchRuns(100_000)
+	agg := record("Aggregate", "metrics aggregation over 100k random events", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			obs.Aggregate(runs)
+		}
+	})
+	ref := record("AggregateReference", "pre-optimization aggregation loop, same events", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			obs.AggregateReference(runs)
+		}
+	})
+	if agg.NsPerOp() > 0 {
+		entries[len(entries)-2].SpeedupVs = "AggregateReference"
+		entries[len(entries)-2].Speedup = float64(ref.NsPerOp()) / float64(agg.NsPerOp())
+	}
+
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	return enc.Encode(doc{runtime.GOMAXPROCS(0), runtime.NumCPU(), scale, entries})
+}
+
+// benchRuns builds one run of random span events across the kind
+// space, the same distribution the obs package's own benchmarks use.
+func benchRuns(events int) []obs.Run {
+	rng := rand.New(rand.NewSource(1998))
+	evs := make([]obs.Event, events)
+	for i := range evs {
+		kind := obs.Kind(1 + rng.Intn(obs.NumKinds-1))
+		ev := obs.Event{Time: 0, Kind: kind}
+		if kind.IsSpan() {
+			ev.Dur = units.Time(rng.Int63n(1 << uint(6+rng.Intn(24))))
+		}
+		evs[i] = ev
+	}
+	return []obs.Run{{Label: "bench/random", Events: evs}}
 }

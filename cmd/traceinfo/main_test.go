@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"utlb/internal/experiments"
+	"utlb/internal/obs"
+	"utlb/internal/parallel"
+	"utlb/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureTrace returns the committed Chrome-trace fixture, recording
+// it first when -update is set (a small table6 run, the same
+// parameters every time so the fixture is reproducible).
+func fixtureTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join("testdata", "fixture.trace.json")
+	if *update {
+		parallel.SetWorkers(1)
+		defer parallel.SetWorkers(0)
+		workload.ResetTraceStore()
+		col := obs.NewCollector()
+		opts := experiments.Options{Scale: 0.01, Seed: 7, Obs: col}
+		var sb strings.Builder
+		if err := experiments.Run("table6", opts, &sb); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteChromeTrace(&buf, col.Runs()); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+// TestEventHistogramsGolden pins the -events rendering over the
+// committed fixture trace: reading the Chrome JSON back and folding it
+// into the per-run histogram table must be byte-stable.
+func TestEventHistogramsGolden(t *testing.T) {
+	f, err := os.Open(fixtureTrace(t))
+	if err != nil {
+		t.Fatalf("%v (run with -update to record the fixture)", err)
+	}
+	defer f.Close()
+	tf, err := obs.ReadChromeTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := eventHistograms(tf).String()
+
+	golden := filepath.Join("testdata", "events.golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("-events output drifted from golden (lens %d vs %d); run with -update if intended",
+			len(got), len(want))
+	}
+	// Sanity on content, independent of the exact golden bytes.
+	for _, part := range []string{"ni_probe", "check_hit", "table6/fft", "event histogram"} {
+		if !strings.Contains(got, part) {
+			t.Errorf("output missing %q", part)
+		}
+	}
+}

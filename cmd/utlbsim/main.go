@@ -15,15 +15,26 @@
 // -trace-out records every simulation event and writes a Chrome
 // trace_event JSON file (load in Perfetto / chrome://tracing);
 // -metrics-out writes Prometheus-style counters and latency
-// histograms. Both are deterministic for a given run. Recording full
-// paper-scale experiments produces very large timelines; combine with
-// -scale for interactive use. -cpuprofile/-memprofile capture pprof
-// profiles of the simulator itself.
+// histograms; -analyze-out writes the transfer-level latency analysis
+// (critical-path breakdown, percentiles, slowest transfers) as JSON.
+// All are deterministic for a given run. Recording full paper-scale
+// experiments produces very large timelines; combine with -scale for
+// interactive use. -cpuprofile/-memprofile capture pprof profiles of
+// the simulator itself.
+//
+// Live server:
+//
+//	utlbsim serve -addr :8080
+//
+// serves the same artifacts over HTTP with experiments run on demand:
+// /metrics, /api/runs, /api/runs/{slug}/trace, /api/analyze, and
+// /debug/pprof/. See internal/serve for the endpoint reference.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -31,11 +42,21 @@ import (
 
 	"utlb/internal/experiments"
 	"utlb/internal/obs"
+	"utlb/internal/obs/analyze"
 	"utlb/internal/parallel"
+	"utlb/internal/serve"
 	"utlb/internal/trace"
 )
 
 func main() {
+	// The serve subcommand has its own flag set; intercept it before
+	// the main flag.Parse sees (and rejects) its arguments.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := serveMain(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	var (
 		exp      = flag.String("exp", "all", "experiment to run (see -list; t1-t8/f7-f8 shorthand accepted)")
 		scale    = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper size)")
@@ -49,6 +70,8 @@ func main() {
 
 		traceOut   = flag.String("trace-out", "", "record the event timeline and write Chrome trace_event JSON here")
 		metricsOut = flag.String("metrics-out", "", "record events and write Prometheus-style text metrics here")
+		analyzeOut = flag.String("analyze-out", "", "record events and write the transfer-level analysis JSON here")
+		topK       = flag.Int("topk", 10, "slowest transfers to keep per experiment in -analyze-out")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator here")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile here on exit")
 	)
@@ -78,7 +101,7 @@ func main() {
 	// records into its own labelled buffer and the export merges them
 	// in label order, independent of -parallel scheduling.
 	var col *obs.Collector
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *analyzeOut != "" {
 		col = obs.NewCollector()
 	}
 
@@ -87,7 +110,7 @@ func main() {
 	}
 
 	if col != nil {
-		if err := writeObs(col, *traceOut, *metricsOut); err != nil {
+		if err := writeObs(col, *traceOut, *metricsOut, *analyzeOut, *topK); err != nil {
 			fatal(err)
 		}
 	}
@@ -133,8 +156,19 @@ func run(exp, traceIn string, scale float64, seed int64, apps string, nodes, pin
 	return experiments.Run(exp, opts, os.Stdout)
 }
 
+// serveMain runs the live observability server.
+func serveMain(args []string) error {
+	fs := flag.NewFlagSet("utlbsim serve", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "utlbsim: serving observability on http://%s/\n", *addr)
+	return http.ListenAndServe(*addr, serve.New().Handler())
+}
+
 // writeObs exports the collected timeline to the requested files.
-func writeObs(col *obs.Collector, traceOut, metricsOut string) error {
+func writeObs(col *obs.Collector, traceOut, metricsOut, analyzeOut string, topK int) error {
 	runs := col.Runs()
 	if traceOut != "" {
 		f, err := os.Create(traceOut)
@@ -164,6 +198,20 @@ func writeObs(col *obs.Collector, traceOut, metricsOut string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "utlbsim: wrote metrics to %s\n", metricsOut)
+	}
+	if analyzeOut != "" {
+		f, err := os.Create(analyzeOut)
+		if err != nil {
+			return err
+		}
+		if err := analyze.WriteJSON(f, analyze.Analyze(runs, topK)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "utlbsim: wrote analysis to %s\n", analyzeOut)
 	}
 	return nil
 }

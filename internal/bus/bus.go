@@ -75,6 +75,7 @@ type Bus struct {
 	// bus track when rec is non-nil.
 	rec  obs.Recorder
 	node units.NodeID
+	xfer *obs.XferCursor
 }
 
 // New returns a bus over mem charging time to clock.
@@ -93,12 +94,17 @@ func (b *Bus) SetRecorder(r obs.Recorder, node units.NodeID) {
 	b.node = node
 }
 
+// SetXferCursor attaches the transfer cursor whose current id stamps
+// every recorded DMA span (nil — the default — stamps 0).
+func (b *Bus) SetXferCursor(x *obs.XferCursor) { b.xfer = x }
+
 // recordDMA emits one transfer span; callers nil-check b.rec first.
 func (b *Bus) recordDMA(kind obs.Kind, start, cost units.Time, bytes int64) {
 	b.rec.Record(obs.Event{
 		Time: start,
 		Dur:  cost,
 		Arg:  uint64(bytes),
+		Xfer: b.xfer.Current(),
 		Node: b.node,
 		Kind: kind,
 	})

@@ -145,6 +145,7 @@ func (d *Driver) HandleSwappedTable(pid units.ProcID, vpn units.VPN) error {
 			rec.Record(obs.Event{
 				Time: d.host.Clock().Now(),
 				Arg:  uint64(vpn),
+				Xfer: d.host.XferCursor().Current(),
 				PID:  pid,
 				Node: d.host.ID(),
 				Kind: obs.KindSwapIn,

@@ -27,6 +27,9 @@ type LibConfig struct {
 	// Recorder, when non-nil, receives check hit/miss spans from this
 	// library's lookups.
 	Recorder obs.Recorder
+	// Xfer, when non-nil, stamps recorded events with the current
+	// transfer id (see obs.XferCursor).
+	Xfer *obs.XferCursor
 }
 
 // LibStats are the user-level library's cumulative counters, the raw
@@ -58,6 +61,7 @@ type Lib struct {
 	policy Policy
 	prepin int
 	rec    obs.Recorder
+	xfer   *obs.XferCursor
 
 	stats LibStats
 }
@@ -79,6 +83,7 @@ func NewLib(drv *Driver, proc *hostos.Process, cfg LibConfig) (*Lib, error) {
 		policy: NewPolicy(cfg.Policy, cfg.PolicySeed),
 		prepin: cfg.Prepin,
 		rec:    cfg.Recorder,
+		xfer:   cfg.Xfer,
 	}, nil
 }
 
@@ -136,6 +141,7 @@ func (l *Lib) Lookup(va units.VAddr, nbytes int) error {
 			Time: t0,
 			Dur:  l.host.Clock().Now() - t0,
 			Arg:  uint64(pages),
+			Xfer: l.xfer.Current(),
 			PID:  l.proc.PID(),
 			Node: l.host.ID(),
 			Kind: kind,

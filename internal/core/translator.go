@@ -1,6 +1,7 @@
 package core
 
 import (
+	"utlb/internal/obs"
 	"utlb/internal/tlbcache"
 	"utlb/internal/units"
 )
@@ -69,10 +70,30 @@ func (tr *Translator) Translate(pid units.ProcID, vpn units.VPN) (units.PFN, Tra
 	cache := tr.drv.Cache()
 	tr.lookups++
 
+	// The probe phase (lookup base + one SRAM probe per examined
+	// entry) is the firmware cost every translation pays, hit or miss;
+	// record it as a span so the critical-path breakdown can separate
+	// probe time from the miss-only DMA fill.
+	rec := nic.Recorder()
+	var probeStart units.Time
+	if rec != nil {
+		probeStart = nic.Clock().Now()
+	}
 	nic.ChargeLookupBase()
 	key := tlbcache.Key{PID: pid, VPN: vpn}
 	res := cache.Lookup(key)
 	nic.ChargeProbes(res.Probes)
+	if rec != nil {
+		rec.Record(obs.Event{
+			Time: probeStart,
+			Dur:  nic.Clock().Now() - probeStart,
+			Arg:  uint64(res.Probes),
+			Xfer: nic.XferCursor().Current(),
+			PID:  pid,
+			Node: nic.ID(),
+			Kind: obs.KindNIProbe,
+		})
+	}
 	if res.Hit {
 		return res.PFN, TranslateInfo{Hit: true, Probes: res.Probes}
 	}

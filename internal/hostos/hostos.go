@@ -159,8 +159,10 @@ type Host struct {
 	switches int64
 
 	// Observability: pin/unpin ioctls and interrupts are recorded as
-	// spans on the host track when rec is non-nil.
-	rec obs.Recorder
+	// spans on the host track when rec is non-nil; xfer stamps them
+	// with the transfer in progress.
+	rec  obs.Recorder
+	xfer *obs.XferCursor
 }
 
 // New returns a host with the given node id, memory size in bytes, and
@@ -196,12 +198,21 @@ func (h *Host) SetRecorder(r obs.Recorder) { h.rec = r }
 // interrupt baseline — record their own host-side events.
 func (h *Host) Recorder() obs.Recorder { return h.rec }
 
+// SetXferCursor attaches the transfer cursor whose current id stamps
+// every recorded host span (nil — the default — stamps 0).
+func (h *Host) SetXferCursor(x *obs.XferCursor) { h.xfer = x }
+
+// XferCursor returns the attached cursor (possibly nil; all cursor
+// methods are nil-safe), for components recording via Recorder().
+func (h *Host) XferCursor() *obs.XferCursor { return h.xfer }
+
 // recordSpan emits one host span; callers nil-check h.rec first.
 func (h *Host) recordSpan(kind obs.Kind, start units.Time, pid units.ProcID, pages int) {
 	h.rec.Record(obs.Event{
 		Time: start,
 		Dur:  h.clock.Now() - start,
 		Arg:  uint64(pages),
+		Xfer: h.xfer.Current(),
 		PID:  pid,
 		Node: h.id,
 		Kind: kind,

@@ -22,6 +22,7 @@ import (
 	"utlb/internal/core"
 	"utlb/internal/hostos"
 	"utlb/internal/nicsim"
+	"utlb/internal/obs"
 	"utlb/internal/tlbcache"
 	"utlb/internal/units"
 	"utlb/internal/vm"
@@ -108,10 +109,29 @@ func (m *Mechanism) Translate(pid units.ProcID, vpn units.VPN) (units.PFN, error
 	}
 	m.stats.Lookups++
 
+	// Record the probe phase exactly as the UTLB translator does, so
+	// the critical-path breakdown compares like with like across
+	// mechanisms.
+	rec := m.nic.Recorder()
+	var probeStart units.Time
+	if rec != nil {
+		probeStart = m.nic.Clock().Now()
+	}
 	m.nic.ChargeLookupBase()
 	key := tlbcache.Key{PID: pid, VPN: vpn}
 	res := m.cache.Lookup(key)
 	m.nic.ChargeProbes(res.Probes)
+	if rec != nil {
+		rec.Record(obs.Event{
+			Time: probeStart,
+			Dur:  m.nic.Clock().Now() - probeStart,
+			Arg:  uint64(res.Probes),
+			Xfer: m.nic.XferCursor().Current(),
+			PID:  pid,
+			Node: m.nic.ID(),
+			Kind: obs.KindNIProbe,
+		})
+	}
 	if res.Hit {
 		st.policy.Touch(vpn)
 		return res.PFN, nil

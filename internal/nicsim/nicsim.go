@@ -76,8 +76,10 @@ type NIC struct {
 	dmaFetches       int64
 
 	// Observability: interrupt assertions are recorded as spans on the
-	// nic track when rec is non-nil.
-	rec obs.Recorder
+	// nic track when rec is non-nil; xfer stamps them with the
+	// transfer in progress.
+	rec  obs.Recorder
+	xfer *obs.XferCursor
 }
 
 // New returns a NIC with the given SRAM size attached to b. The NIC has
@@ -140,6 +142,18 @@ func (n *NIC) SetInterruptHandler(h InterruptHandler) { n.intr = h }
 // on the NIC clock. nil detaches.
 func (n *NIC) SetRecorder(r obs.Recorder) { n.rec = r }
 
+// Recorder returns the attached recorder (nil when disabled), letting
+// the firmware translation path record its own NIC-side events.
+func (n *NIC) Recorder() obs.Recorder { return n.rec }
+
+// SetXferCursor attaches the transfer cursor whose current id stamps
+// every recorded NIC span (nil — the default — stamps 0).
+func (n *NIC) SetXferCursor(x *obs.XferCursor) { n.xfer = x }
+
+// XferCursor returns the attached cursor (possibly nil; all cursor
+// methods are nil-safe).
+func (n *NIC) XferCursor() *obs.XferCursor { return n.xfer }
+
 // RaiseInterrupt asserts the interrupt line, charging the NIC-side cost
 // and invoking the host handler. It panics if no handler is wired: an
 // interrupt with no handler wedges a real machine too.
@@ -154,6 +168,7 @@ func (n *NIC) RaiseInterrupt() error {
 			n.rec.Record(obs.Event{
 				Time: t0,
 				Dur:  n.clock.Now() - t0,
+				Xfer: n.xfer.Current(),
 				Node: n.id,
 				Kind: obs.KindNICInterrupt,
 			})

@@ -1,0 +1,372 @@
+// Package analyze turns a recorded event timeline into a
+// transfer-level latency report: per-kind duration percentiles, a
+// critical-path breakdown of where transfer time goes (library check
+// vs cache probe vs DMA fill vs pin ioctl vs interrupt), and the
+// slowest transfers with their full event chains.
+//
+// Analyze is a pure function of its input runs: all arithmetic is
+// integer, maps are drained in sorted order, and the collector already
+// merges runs deterministically, so the JSON report is byte-identical
+// at any simulation parallelism — the property the serve endpoint's
+// goldens pin down.
+package analyze
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+
+	"utlb/internal/obs"
+)
+
+// Categories of the critical-path breakdown, in report order. Every
+// span kind maps to exactly one category; instants carry no duration
+// and contribute only to event counts.
+const (
+	catCheck     = "check"     // user-level bit-vector check
+	catProbe     = "probe"     // NIC cache probe phase (hit or miss)
+	catDMA       = "dma"       // I/O-bus DMA (entry fetch + data)
+	catPin       = "pin"       // pin ioctl / in-kernel pin
+	catUnpin     = "unpin"     // unpin ioctl / in-kernel unpin
+	catInterrupt = "interrupt" // interrupt dispatch + handler, minus nested pin work
+	catOther     = "other"     // any future span kind
+)
+
+// categories is an array so len(categories) is a constant usable as
+// an array size below.
+var categories = [...]string{catCheck, catProbe, catDMA, catPin, catUnpin, catInterrupt, catOther}
+
+// category maps a span kind to its breakdown category.
+func category(k obs.Kind) string {
+	switch k {
+	case obs.KindCheckHit, obs.KindCheckMiss:
+		return catCheck
+	case obs.KindNIProbe:
+		return catProbe
+	case obs.KindDMARead, obs.KindDMAWrite:
+		return catDMA
+	case obs.KindPin, obs.KindKernelPin:
+		return catPin
+	case obs.KindUnpin, obs.KindKernelUnpin:
+		return catUnpin
+	case obs.KindInterrupt, obs.KindNICInterrupt:
+		return catInterrupt
+	default:
+		return catOther
+	}
+}
+
+// maxChainEvents caps the per-transfer event chain kept for the
+// slowest-transfers report; past it only the count grows.
+const maxChainEvents = 64
+
+// Report is the analysis result, JSON-stable field for field.
+type Report struct {
+	// Events and Runs count the analyzed input.
+	Events int64 `json:"events"`
+	Runs   int   `json:"runs"`
+	// Kinds holds per-kind duration statistics in kind order, one entry
+	// per kind that appears in the input.
+	Kinds []KindStats `json:"kinds"`
+	// Experiments holds per-experiment transfer analysis, sorted by
+	// name. An experiment is a run label's prefix before the first '/'.
+	Experiments []ExperimentReport `json:"experiments"`
+}
+
+// KindStats summarises the durations of one event kind. Instant kinds
+// have zero durations throughout.
+type KindStats struct {
+	Kind    string `json:"kind"`
+	Count   int64  `json:"count"`
+	TotalNs int64  `json:"total_ns"`
+	P50Ns   int64  `json:"p50_ns"`
+	P95Ns   int64  `json:"p95_ns"`
+	P99Ns   int64  `json:"p99_ns"`
+	MaxNs   int64  `json:"max_ns"`
+}
+
+// ExperimentReport is the transfer-level view of one experiment.
+type ExperimentReport struct {
+	Experiment string   `json:"experiment"`
+	Runs       []string `json:"runs"`
+	// Transfers summarises per-transfer critical-path latency (the sum
+	// of exclusive span time attributed to each transfer id).
+	Transfers TransferStats `json:"transfers"`
+	// Breakdown splits total attributed span time by category.
+	// BasisPoints are ten-thousandths of the experiment total, so the
+	// fractions stay integers.
+	Breakdown []BreakdownEntry `json:"breakdown"`
+	// Slowest lists the topK highest-latency transfers, latency
+	// descending (ties: run label then id ascending).
+	Slowest []Transfer `json:"slowest"`
+}
+
+// TransferStats are the per-transfer latency percentiles of one
+// experiment.
+type TransferStats struct {
+	Count        int64 `json:"count"`
+	Events       int64 `json:"events"`
+	Unattributed int64 `json:"unattributed_events"`
+	P50Ns        int64 `json:"p50_ns"`
+	P95Ns        int64 `json:"p95_ns"`
+	P99Ns        int64 `json:"p99_ns"`
+	MaxNs        int64 `json:"max_ns"`
+}
+
+// BreakdownEntry is one critical-path category's share.
+type BreakdownEntry struct {
+	Category    string `json:"category"`
+	Ns          int64  `json:"ns"`
+	BasisPoints int64  `json:"basis_points"`
+}
+
+// Transfer is one transfer's event chain for the slowest report.
+type Transfer struct {
+	Run       string       `json:"run"`
+	ID        uint64       `json:"id"`
+	LatencyNs int64        `json:"latency_ns"`
+	Events    []ChainEvent `json:"events"`
+	// Truncated counts chain events dropped past maxChainEvents.
+	Truncated int `json:"truncated,omitempty"`
+}
+
+// ChainEvent is one event of a transfer chain.
+type ChainEvent struct {
+	Kind   string `json:"kind"`
+	Node   int    `json:"node"`
+	PID    int    `json:"pid"`
+	TimeNs int64  `json:"time_ns"`
+	DurNs  int64  `json:"dur_ns,omitempty"`
+	Arg    uint64 `json:"arg,omitempty"`
+	Arg2   uint64 `json:"arg2,omitempty"`
+}
+
+// transferAcc accumulates one (run, id) transfer during the scan.
+type transferAcc struct {
+	id     uint64
+	events int64
+	chain  []ChainEvent
+	// perCat is exclusive span time by category index.
+	perCat [len(categories)]int64
+	// intrNested is KernelPin/KernelUnpin time inside this transfer,
+	// subtracted from the interrupt category so dispatch+handler time
+	// is exclusive of the pin work it wraps.
+	intrNested int64
+}
+
+func (t *transferAcc) latency() int64 {
+	var sum int64
+	for _, ns := range t.perCat {
+		sum += ns
+	}
+	return sum
+}
+
+// experiment derives the experiment name from a run label.
+func experiment(label string) string {
+	if i := strings.IndexByte(label, '/'); i >= 0 {
+		return label[:i]
+	}
+	return label
+}
+
+var catIndex = func() map[string]int {
+	m := make(map[string]int, len(categories))
+	for i, c := range categories {
+		m[c] = i
+	}
+	return m
+}()
+
+// Analyze computes the transfer-level report over runs, keeping the
+// topK slowest transfers per experiment (topK < 1 means 10).
+func Analyze(runs []obs.Run, topK int) *Report {
+	if topK < 1 {
+		topK = 10
+	}
+	rep := &Report{Runs: len(runs)}
+
+	kindDigests := make([]*Digest, obs.NumKinds)
+	type expAcc struct {
+		runs      []string
+		latency   Digest
+		perCat    [len(categories)]int64
+		events    int64
+		unattrib  int64
+		transfers []*transferAcc
+		runOf     map[*transferAcc]string
+	}
+	exps := make(map[string]*expAcc)
+
+	for _, run := range runs {
+		name := experiment(run.Label)
+		ea := exps[name]
+		if ea == nil {
+			ea = &expAcc{runOf: make(map[*transferAcc]string)}
+			exps[name] = ea
+		}
+		ea.runs = append(ea.runs, run.Label)
+
+		// Per-run transfer table: ids are dense from 1 in record order,
+		// so a slice indexed by id-1 keeps the scan allocation-light and
+		// the output order deterministic.
+		var xfers []*transferAcc
+		for i := range run.Events {
+			ev := &run.Events[i]
+			rep.Events++
+			ea.events++
+			if d := kindDigests[ev.Kind]; d != nil {
+				d.Add(int64(ev.Dur))
+			} else {
+				d = new(Digest)
+				d.Add(int64(ev.Dur))
+				kindDigests[ev.Kind] = d
+			}
+			if ev.Xfer == 0 {
+				ea.unattrib++
+				continue
+			}
+			for uint64(len(xfers)) < ev.Xfer {
+				xfers = append(xfers, nil)
+			}
+			t := xfers[ev.Xfer-1]
+			if t == nil {
+				t = &transferAcc{id: ev.Xfer}
+				xfers[ev.Xfer-1] = t
+			}
+			t.events++
+			if len(t.chain) < maxChainEvents {
+				t.chain = append(t.chain, ChainEvent{
+					Kind:   ev.Kind.String(),
+					Node:   int(ev.Node),
+					PID:    int(ev.PID),
+					TimeNs: int64(ev.Time),
+					DurNs:  int64(ev.Dur),
+					Arg:    ev.Arg,
+					Arg2:   ev.Arg2,
+				})
+			}
+			if ev.Kind.IsSpan() {
+				t.perCat[catIndex[category(ev.Kind)]] += int64(ev.Dur)
+				if ev.Kind == obs.KindKernelPin || ev.Kind == obs.KindKernelUnpin {
+					t.intrNested += int64(ev.Dur)
+				}
+			}
+		}
+		for _, t := range xfers {
+			if t == nil {
+				continue
+			}
+			// Make interrupt time exclusive of the kernel pin/unpin work
+			// nested inside the handler (clamped: a chain recorded
+			// without its enclosing interrupt must not go negative).
+			ic := catIndex[catInterrupt]
+			t.perCat[ic] -= t.intrNested
+			if t.perCat[ic] < 0 {
+				t.perCat[ic] = 0
+			}
+			ea.latency.Add(t.latency())
+			for i, ns := range t.perCat {
+				ea.perCat[i] += ns
+			}
+			ea.transfers = append(ea.transfers, t)
+			ea.runOf[t] = run.Label
+		}
+	}
+
+	for k := 0; k < obs.NumKinds; k++ {
+		d := kindDigests[k]
+		if d == nil {
+			continue
+		}
+		rep.Kinds = append(rep.Kinds, KindStats{
+			Kind:    obs.Kind(k).String(),
+			Count:   d.N(),
+			TotalNs: d.Sum(),
+			P50Ns:   d.Quantile(50),
+			P95Ns:   d.Quantile(95),
+			P99Ns:   d.Quantile(99),
+			MaxNs:   d.Max(),
+		})
+	}
+
+	names := make([]string, 0, len(exps))
+	for name := range exps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ea := exps[name]
+		er := ExperimentReport{
+			Experiment: name,
+			Runs:       ea.runs,
+			Transfers: TransferStats{
+				Count:        ea.latency.N(),
+				Events:       ea.events,
+				Unattributed: ea.unattrib,
+				P50Ns:        ea.latency.Quantile(50),
+				P95Ns:        ea.latency.Quantile(95),
+				P99Ns:        ea.latency.Quantile(99),
+				MaxNs:        ea.latency.Max(),
+			},
+		}
+		var total int64
+		for _, ns := range ea.perCat {
+			total += ns
+		}
+		for i, cat := range categories {
+			ns := ea.perCat[i]
+			if ns == 0 {
+				continue
+			}
+			bp := int64(0)
+			if total > 0 {
+				bp = ns * 10000 / total
+			}
+			er.Breakdown = append(er.Breakdown, BreakdownEntry{Category: cat, Ns: ns, BasisPoints: bp})
+		}
+		sort.SliceStable(ea.transfers, func(i, j int) bool {
+			a, b := ea.transfers[i], ea.transfers[j]
+			la, lb := a.latency(), b.latency()
+			if la != lb {
+				return la > lb
+			}
+			ra, rb := ea.runOf[a], ea.runOf[b]
+			if ra != rb {
+				return ra < rb
+			}
+			return a.id < b.id
+		})
+		if len(ea.transfers) > topK {
+			ea.transfers = ea.transfers[:topK]
+		}
+		for _, t := range ea.transfers {
+			tr := Transfer{
+				Run:       ea.runOf[t],
+				ID:        t.id,
+				LatencyNs: t.latency(),
+				Events:    t.chain,
+			}
+			if int64(len(t.chain)) < t.events {
+				tr.Truncated = int(t.events - int64(len(t.chain)))
+			}
+			er.Slowest = append(er.Slowest, tr)
+		}
+		rep.Experiments = append(rep.Experiments, er)
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON with a trailing
+// newline. The encoding is deterministic: struct field order, sorted
+// experiments, integer-only values.
+func WriteJSON(w io.Writer, rep *Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -105,6 +105,11 @@ func WriteChromeTrace(w io.Writer, runs []Run) error {
 			}
 			writeArg(meta.arg, ev.Arg)
 			writeArg(meta.arg2, ev.Arg2)
+			// Transfer attribution rides along only when present, so
+			// traces without ids keep their exact historical bytes.
+			if ev.Xfer != 0 {
+				writeArg("xfer", ev.Xfer)
+			}
 			bw.WriteString("}}")
 		}
 	}

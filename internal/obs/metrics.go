@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math/bits"
 )
 
 // Prometheus-style text export: event counters per kind plus latency
@@ -25,16 +26,55 @@ const (
 // per-kind duration histograms for span kinds.
 type Metrics struct {
 	Count [NumKinds]int64
-	// Hist[k][i] counts events of kind k with Dur <= 2^(bucketLow+i);
-	// the implicit final bucket is +Inf. Sum and counts allow mean
-	// reconstruction.
+	// Hist[k][i] counts events of kind k that land in bucket i alone:
+	// 2^(bucketLow+i-1) < Dur <= 2^(bucketLow+i), with bucket 0 taking
+	// everything at or below its boundary. Events above the largest
+	// finite bucket land only in the implicit +Inf (HistN - sum of
+	// Hist). The Prometheus export computes the cumulative
+	// less-or-equal counts the format wants at write time, so
+	// aggregation touches exactly one bucket per event.
 	Hist   [NumKinds][numBuckets]int64
-	HistN  [NumKinds]int64 // events above the largest finite bucket land only in +Inf
+	HistN  [NumKinds]int64 // all span events, including those beyond the last finite bucket
 	SumDur [NumKinds]int64
+}
+
+// bucketIndex returns the index of the smallest bucket boundary
+// 2^(bucketLow+i) that is >= d, or a value >= numBuckets when d
+// exceeds the largest finite boundary (+Inf only). One bits.Len64
+// instead of a scan over all twenty boundaries.
+func bucketIndex(d uint64) int {
+	if d <= 1<<bucketLow {
+		return 0
+	}
+	// Smallest p with d <= 2^p is Len64(d-1); d > 2^bucketLow here.
+	return bits.Len64(d-1) - bucketLow
 }
 
 // Aggregate folds all events of all runs into one Metrics.
 func Aggregate(runs []Run) *Metrics {
+	m := &Metrics{}
+	for _, run := range runs {
+		for _, ev := range run.Events {
+			m.Count[ev.Kind]++
+			if !ev.Kind.IsSpan() {
+				continue
+			}
+			m.SumDur[ev.Kind] += int64(ev.Dur)
+			m.HistN[ev.Kind]++
+			if i := bucketIndex(uint64(ev.Dur)); i < numBuckets {
+				m.Hist[ev.Kind][i]++
+			}
+		}
+	}
+	return m
+}
+
+// AggregateReference is the pre-optimisation Aggregate: it compares
+// every span duration against every bucket boundary and stores
+// cumulative counts directly. Kept (converted to the per-bucket Hist
+// representation) as the oracle for the equivalence test and the
+// baseline for BenchmarkAggregate; not for production use.
+func AggregateReference(runs []Run) *Metrics {
 	m := &Metrics{}
 	for _, run := range runs {
 		for _, ev := range run.Events {
@@ -49,6 +89,13 @@ func Aggregate(runs []Run) *Metrics {
 					m.Hist[ev.Kind][i]++
 				}
 			}
+		}
+	}
+	// The loop above filled cumulative counts; difference them into
+	// the per-bucket representation Metrics now carries.
+	for k := range m.Hist {
+		for i := numBuckets - 1; i > 0; i-- {
+			m.Hist[k][i] -= m.Hist[k][i-1]
 		}
 	}
 	return m
@@ -78,9 +125,11 @@ func WritePrometheus(w io.Writer, m *Metrics) error {
 			continue
 		}
 		meta := kindMetas[k]
+		cum := int64(0)
 		for i := 0; i < numBuckets; i++ {
+			cum += m.Hist[k][i]
 			fmt.Fprintf(bw, "utlb_event_duration_ns_bucket{kind=%q,le=\"%d\"} %d\n",
-				meta.name, int64(1)<<(bucketLow+i), m.Hist[k][i])
+				meta.name, int64(1)<<(bucketLow+i), cum)
 		}
 		fmt.Fprintf(bw, "utlb_event_duration_ns_bucket{kind=%q,le=\"+Inf\"} %d\n",
 			meta.name, m.HistN[k])

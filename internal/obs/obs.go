@@ -59,8 +59,10 @@ const (
 	KindKernelUnpin
 	KindInterrupt
 
-	// NIC (nicsim): interrupt line assertion.
+	// NIC (nicsim): interrupt line assertion, and the firmware's
+	// translation-lookup probe phase (lookup base + cache probes).
 	KindNICInterrupt
+	KindNIProbe
 
 	// UTLB driver (core.Driver): second-level table swap-in (§3.3).
 	KindSwapIn
@@ -108,6 +110,7 @@ var kindMetas = [numKinds]kindMeta{
 	KindKernelUnpin:     {name: "host_unpin_intr", comp: "host", span: true, arg: "pages"},
 	KindInterrupt:       {name: "interrupt", comp: "host", span: true},
 	KindNICInterrupt:    {name: "nic_interrupt", comp: "nic", span: true},
+	KindNIProbe:         {name: "ni_probe", comp: "nic", span: true, arg: "probes"},
 	KindSwapIn:          {name: "table_swapin", comp: "host", arg: "vpn"},
 	KindSend:            {name: "vmmc_send", comp: "vmmc", arg: "bytes"},
 	KindRecv:            {name: "vmmc_recv", comp: "vmmc", arg: "bytes"},
@@ -156,6 +159,13 @@ type Event struct {
 	// probe count — see the kind taxonomy).
 	Arg  uint64
 	Arg2 uint64
+	// Xfer identifies the transfer (traced communication operation,
+	// VMMC send/fetch/export) the event belongs to, so analysis can
+	// reconstruct the causal chain cache probe → DMA fill → pin →
+	// interrupt that makes up one operation's latency. 0 means
+	// unattributed (recorded outside any transfer). IDs are allocated
+	// by an XferCursor, dense from 1 in execution order.
+	Xfer uint64
 	// PID is the process the event belongs to; 0 for system-wide
 	// events (bus transfers, interrupts not tied to a process).
 	PID units.ProcID
@@ -178,6 +188,60 @@ type Nop struct{}
 
 // Record discards the event.
 func (Nop) Record(Event) {}
+
+// XferCursor allocates per-transfer identifiers and carries the
+// "current transfer" through a synchronous call chain. One cursor is
+// shared by every component of a simulation (or a whole VMMC cluster:
+// execution is synchronous, so the sender's id flows naturally into
+// receiver-side deposit events). Every method is nil-safe so
+// components can hold a nil *XferCursor by default and stamp events
+// with Current() unconditionally inside their existing rec != nil
+// blocks — the disabled path stays allocation-free.
+//
+// The cursor is single-goroutine, like the Buffer it feeds.
+type XferCursor struct {
+	next uint64
+	cur  uint64
+}
+
+// NewXferCursor returns a cursor whose first Begin yields id 1.
+func NewXferCursor() *XferCursor { return &XferCursor{} }
+
+// Begin starts a new transfer: it allocates the next id, makes it
+// current, and returns it (0 on a nil cursor).
+func (x *XferCursor) Begin() uint64 {
+	if x == nil {
+		return 0
+	}
+	x.next++
+	x.cur = x.next
+	return x.cur
+}
+
+// Set restores a previously allocated id as current — the deferred
+// half of a posted command: PostSend allocates at post time, the
+// firmware Sets it back when the command executes.
+func (x *XferCursor) Set(id uint64) {
+	if x != nil {
+		x.cur = id
+	}
+}
+
+// Current reports the transfer in progress; 0 on a nil cursor or
+// outside any transfer.
+func (x *XferCursor) Current() uint64 {
+	if x == nil {
+		return 0
+	}
+	return x.cur
+}
+
+// Clear marks that no transfer is in progress.
+func (x *XferCursor) Clear() {
+	if x != nil {
+		x.cur = 0
+	}
+}
 
 // Buffer is the buffered Recorder: it appends every event to an
 // in-memory slice, in recording order. A Buffer is single-goroutine

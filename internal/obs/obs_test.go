@@ -161,19 +161,25 @@ func TestAggregate(t *testing.T) {
 	if m.HistN[KindCacheHit] != 0 {
 		t.Error("instant kind has histogram samples")
 	}
-	// The 2^28 ns unpin exceeds every finite bucket: cumulative buckets
-	// stay 0, +Inf (HistN) counts it.
-	if m.HistN[KindUnpin] != 1 || m.Hist[KindUnpin][numBuckets-1] != 0 {
-		t.Errorf("overflow span misbucketed: n=%d top=%d",
-			m.HistN[KindUnpin], m.Hist[KindUnpin][numBuckets-1])
+	// The 2^28 ns unpin exceeds every finite bucket: no finite bucket
+	// counts it, +Inf (HistN) does.
+	if m.HistN[KindUnpin] != 1 || m.Hist[KindUnpin] != [numBuckets]int64{} {
+		t.Errorf("overflow span misbucketed: n=%d hist=%v",
+			m.HistN[KindUnpin], m.Hist[KindUnpin])
 	}
 	if m.SumDur[KindUnpin] != 1<<28 {
 		t.Errorf("sum = %d", m.SumDur[KindUnpin])
 	}
-	// 700 ns check_miss: cumulative from the first bucket >= 700 (2^10).
+	// 700 ns check_miss lands in exactly one bucket: the first with
+	// boundary >= 700, i.e. 2^10 (index 3).
 	h := m.Hist[KindCheckMiss]
-	if h[0] != 0 || h[3] != 1 || h[numBuckets-1] != 1 {
+	if h[3] != 1 {
 		t.Errorf("check_miss buckets: %v", h)
+	}
+	for i, n := range h {
+		if i != 3 && n != 0 {
+			t.Errorf("check_miss bucket %d = %d, want 0", i, n)
+		}
 	}
 	// Aggregation commutes with run order.
 	rev := sortedFixture()

@@ -1,0 +1,334 @@
+// Package serve is the live observability server behind `utlbsim
+// serve`: experiments run on demand from query parameters and their
+// timelines are exposed as Prometheus metrics, Chrome traces, and
+// transfer-level analyze reports, next to the process' own pprof
+// endpoints.
+//
+//	GET /                      HTML index
+//	GET /metrics               Prometheus metrics (all cached runs, or one ?exp=)
+//	GET /api/runs              cached experiment results (JSON)
+//	GET /api/runs/{slug}/trace Chrome trace download for one cached result
+//	GET /api/analyze           transfer-level analysis (JSON; ?exp=&topk=)
+//	GET /debug/pprof/          live profiling of the server process
+//
+// Query parameters for experiment-running endpoints: exp (required;
+// canonical name or t1-t8/f7-f8 alias), scale, seed, apps
+// (comma-separated), nodes, parallel.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+
+	"utlb/internal/experiments"
+	"utlb/internal/obs"
+	"utlb/internal/obs/analyze"
+	"utlb/internal/parallel"
+	"utlb/internal/workload"
+)
+
+// maxCached bounds the result cache; past it the oldest entry is
+// evicted (each result holds a full event timeline).
+const maxCached = 8
+
+// params identify one experiment execution; equal params hit the
+// cache. parallel is part of the key because the pool width is what
+// the determinism goldens vary.
+type params struct {
+	exp      string
+	scale    float64
+	seed     int64
+	apps     []string
+	nodes    int
+	parallel int
+}
+
+// slug is the URL-safe cache key derived from params.
+func (p params) slug() string {
+	s := fmt.Sprintf("%s-s%g-seed%d-p%d", p.exp, p.scale, p.seed, p.parallel)
+	if p.nodes > 0 {
+		s += fmt.Sprintf("-n%d", p.nodes)
+	}
+	if len(p.apps) > 0 {
+		s += "-" + strings.Join(p.apps, "+")
+	}
+	return s
+}
+
+// parseParams reads experiment parameters from the query string.
+func parseParams(r *http.Request) (params, error) {
+	q := r.URL.Query()
+	p := params{scale: 0.05, seed: 1998, parallel: 1}
+	p.exp = experiments.Canonical(q.Get("exp"))
+	known := false
+	for _, n := range experiments.Names {
+		if n == p.exp {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return p, fmt.Errorf("unknown experiment %q (have %v)", q.Get("exp"), experiments.Names)
+	}
+	var err error
+	if v := q.Get("scale"); v != "" {
+		if p.scale, err = strconv.ParseFloat(v, 64); err != nil || p.scale <= 0 || p.scale > 1 {
+			return p, fmt.Errorf("bad scale %q (want 0 < scale <= 1)", v)
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		if p.seed, err = strconv.ParseInt(v, 10, 64); err != nil {
+			return p, fmt.Errorf("bad seed %q", v)
+		}
+	}
+	if v := q.Get("parallel"); v != "" {
+		if p.parallel, err = strconv.Atoi(v); err != nil || p.parallel < 0 || p.parallel > 64 {
+			return p, fmt.Errorf("bad parallel %q (want 0..64)", v)
+		}
+	}
+	if v := q.Get("nodes"); v != "" {
+		if p.nodes, err = strconv.Atoi(v); err != nil || p.nodes < 0 || p.nodes > 64 {
+			return p, fmt.Errorf("bad nodes %q (want 0..64)", v)
+		}
+	}
+	if v := q.Get("apps"); v != "" {
+		p.apps = strings.Split(v, ",")
+	}
+	return p, nil
+}
+
+// result is one cached experiment execution.
+type result struct {
+	params params
+	runs   []obs.Run
+	text   string // the experiment's rendered table/figure output
+	events int64
+}
+
+// Server runs experiments on demand and serves their timelines. One
+// mutex serialises executions: the worker-pool width is process-global
+// state, so concurrent runs at different widths would race.
+type Server struct {
+	mu    sync.Mutex
+	cache map[string]*result
+	order []string // insertion order, for eviction
+}
+
+// New returns an empty server.
+func New() *Server {
+	return &Server{cache: make(map[string]*result)}
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/api/runs", s.handleRuns)
+	mux.HandleFunc("/api/runs/", s.handleTrace)
+	mux.HandleFunc("/api/analyze", s.handleAnalyze)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// get returns the cached result for p, running the experiment on a
+// cache miss. Runs execute under the server mutex (single-flight).
+func (s *Server) get(p params) (*result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := p.slug()
+	if r, ok := s.cache[key]; ok {
+		return r, nil
+	}
+	prev := parallel.Workers()
+	parallel.SetWorkers(p.parallel)
+	defer parallel.SetWorkers(prev)
+	workload.ResetTraceStore()
+	col := obs.NewCollector()
+	opts := experiments.Options{
+		Scale: p.scale, Seed: p.seed, Apps: p.apps, Nodes: p.nodes, Obs: col,
+	}
+	var sb strings.Builder
+	if err := experiments.Run(p.exp, opts, &sb); err != nil {
+		return nil, err
+	}
+	r := &result{params: p, runs: col.Runs(), text: sb.String()}
+	for _, run := range r.runs {
+		r.events += int64(len(run.Events))
+	}
+	if len(s.order) >= maxCached {
+		delete(s.cache, s.order[0])
+		s.order = s.order[1:]
+	}
+	s.cache[key] = r
+	s.order = append(s.order, key)
+	return r, nil
+}
+
+// cachedRuns snapshots every cached timeline, in cache-key order.
+func (s *Server) cachedRuns() []obs.Run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var runs []obs.Run
+	for _, key := range s.order {
+		runs = append(runs, s.cache[key].runs...)
+	}
+	return runs
+}
+
+const indexHTML = `<!doctype html>
+<html><head><title>utlbsim observability</title></head><body>
+<h1>utlbsim observability server</h1>
+<p>Experiments run on demand; results are cached by parameter set.</p>
+<ul>
+<li><a href="/metrics">/metrics</a> &mdash; Prometheus metrics over all cached runs (add ?exp= to run one)</li>
+<li><a href="/api/runs">/api/runs</a> &mdash; cached results (JSON)</li>
+<li>/api/runs/{slug}/trace &mdash; Chrome trace (load in chrome://tracing or Perfetto)</li>
+<li><a href="/api/analyze?exp=t6">/api/analyze?exp=t6</a> &mdash; transfer-level latency analysis (JSON)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> &mdash; live profiles of this server</li>
+</ul>
+<p>Parameters: <code>exp</code> (table1..table8, fig7, fig8, or t1..t8/f7/f8),
+<code>scale</code>, <code>seed</code>, <code>apps</code>, <code>nodes</code>, <code>parallel</code>,
+and <code>topk</code> for /api/analyze.</p>
+<p>Example: <a href="/api/analyze?exp=t6&amp;scale=0.05&amp;topk=5">/api/analyze?exp=t6&amp;scale=0.05&amp;topk=5</a></p>
+</body></html>
+`
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}
+
+// handleMetrics serves Prometheus metrics: with ?exp= it runs (or
+// recalls) that experiment; without, it aggregates every cached run.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var runs []obs.Run
+	if r.URL.Query().Get("exp") != "" {
+		p, err := parseParams(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := s.get(p)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		runs = res.runs
+	} else {
+		runs = s.cachedRuns()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WritePrometheus(w, obs.Aggregate(runs)); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// runInfo is one /api/runs entry.
+type runInfo struct {
+	Slug     string   `json:"slug"`
+	Exp      string   `json:"exp"`
+	Scale    float64  `json:"scale"`
+	Seed     int64    `json:"seed"`
+	Parallel int      `json:"parallel"`
+	Runs     []string `json:"runs"`
+	Events   int64    `json:"events"`
+	TraceURL string   `json:"trace_url"`
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	infos := make([]runInfo, 0, len(s.order))
+	for _, key := range s.order {
+		res := s.cache[key]
+		labels := make([]string, len(res.runs))
+		for i, run := range res.runs {
+			labels[i] = run.Label
+		}
+		infos = append(infos, runInfo{
+			Slug:     key,
+			Exp:      res.params.exp,
+			Scale:    res.params.scale,
+			Seed:     res.params.seed,
+			Parallel: res.params.parallel,
+			Runs:     labels,
+			Events:   res.events,
+			TraceURL: "/api/runs/" + key + "/trace",
+		})
+	}
+	s.mu.Unlock()
+	writeJSON(w, infos)
+}
+
+// handleTrace serves the Chrome trace of one cached result:
+// /api/runs/{slug}/trace.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/runs/")
+	slug, ok := strings.CutSuffix(rest, "/trace")
+	if !ok || slug == "" {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.Lock()
+	res := s.cache[slug]
+	s.mu.Unlock()
+	if res == nil {
+		http.Error(w, fmt.Sprintf("no cached result %q (run it via /api/analyze or /metrics first; see /api/runs)", slug),
+			http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.trace.json", slug))
+	if err := obs.WriteChromeTrace(w, res.runs); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleAnalyze serves the transfer-level analysis of one experiment.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	p, err := parseParams(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	topK := 10
+	if v := r.URL.Query().Get("topk"); v != "" {
+		if topK, err = strconv.Atoi(v); err != nil || topK < 1 || topK > 1000 {
+			http.Error(w, fmt.Sprintf("bad topk %q (want 1..1000)", v), http.StatusBadRequest)
+			return
+		}
+	}
+	res, err := s.get(p)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := analyze.WriteJSON(w, analyze.Analyze(res.runs, topK)); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	data = append(data, '\n')
+	w.Write(data)
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// get fetches path from the test server and returns status + body.
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServeEndpointsSmoke walks every endpoint once against a live
+// httptest server: index, analyze (which runs an experiment), metrics,
+// runs listing, trace download, and pprof.
+func TestServeEndpointsSmoke(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+
+	if code, body := get(t, ts, "/"); code != http.StatusOK || !strings.Contains(body, "utlbsim observability") {
+		t.Fatalf("index: code %d body %.80q", code, body)
+	}
+
+	// Analyze runs table6 and caches the result.
+	code, body := get(t, ts, "/api/analyze?exp=t6&scale=0.03&apps=fft&topk=2")
+	if code != http.StatusOK {
+		t.Fatalf("analyze: code %d body %.200q", code, body)
+	}
+	var rep struct {
+		Events      int64 `json:"events"`
+		Experiments []struct {
+			Experiment string `json:"experiment"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("analyze JSON: %v", err)
+	}
+	if rep.Events == 0 || len(rep.Experiments) != 1 || rep.Experiments[0].Experiment != "table6" {
+		t.Fatalf("analyze content: events=%d experiments=%+v", rep.Events, rep.Experiments)
+	}
+
+	// Metrics without params aggregates the cached run.
+	if code, body := get(t, ts, "/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "utlb_events_total") {
+		t.Fatalf("metrics: code %d body %.120q", code, body)
+	}
+
+	// The runs listing knows the cached result and links its trace.
+	code, body = get(t, ts, "/api/runs")
+	if code != http.StatusOK {
+		t.Fatalf("runs: code %d", code)
+	}
+	var infos []struct {
+		Slug     string `json:"slug"`
+		TraceURL string `json:"trace_url"`
+		Events   int64  `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &infos); err != nil {
+		t.Fatalf("runs JSON: %v", err)
+	}
+	if len(infos) != 1 || infos[0].Events != rep.Events {
+		t.Fatalf("runs listing: %+v (want 1 entry with %d events)", infos, rep.Events)
+	}
+
+	// The trace endpoint serves a loadable Chrome trace.
+	code, body = get(t, ts, infos[0].TraceURL)
+	if code != http.StatusOK || !strings.Contains(body, `"traceEvents"`) {
+		t.Fatalf("trace: code %d body %.120q", code, body)
+	}
+
+	if code, body := get(t, ts, "/debug/pprof/"); code != http.StatusOK ||
+		!strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof: code %d body %.120q", code, body)
+	}
+}
+
+// TestServeBadRequests pins the 400/404 paths.
+func TestServeBadRequests(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	for _, path := range []string{
+		"/api/analyze",                 // missing exp
+		"/api/analyze?exp=nope",        // unknown experiment
+		"/api/analyze?exp=t6&scale=2",  // scale out of range
+		"/api/analyze?exp=t6&topk=0",   // bad topk
+		"/metrics?exp=nope",            // unknown experiment via metrics
+		"/api/analyze?exp=t6&seed=abc", // unparsable seed
+	} {
+		if code, _ := get(t, ts, path); code != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400", path, code)
+		}
+	}
+	if code, _ := get(t, ts, "/api/runs/absent/trace"); code != http.StatusNotFound {
+		t.Error("missing trace did not 404")
+	}
+	if code, _ := get(t, ts, "/nope"); code != http.StatusNotFound {
+		t.Error("unknown path did not 404")
+	}
+}
+
+// TestServeAnalyzeParallelWidths asserts /api/analyze returns
+// byte-identical JSON whether the experiment ran at pool width 1 or 8:
+// the parallel parameter is part of the cache key, so both requests
+// really execute, and the analysis is a pure function of the
+// deterministically merged collector.
+func TestServeAnalyzeParallelWidths(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	base := "/api/analyze?exp=t6&scale=0.03&apps=water-spatial,fft&topk=3&parallel="
+	code1, body1 := get(t, ts, base+"1")
+	code8, body8 := get(t, ts, base+"8")
+	if code1 != http.StatusOK || code8 != http.StatusOK {
+		t.Fatalf("codes %d/%d", code1, code8)
+	}
+	if body1 != body8 {
+		t.Fatalf("analyze JSON diverged across widths (lens %d vs %d)", len(body1), len(body8))
+	}
+	// Both widths are cached separately.
+	if _, body := get(t, ts, "/api/runs"); strings.Count(body, `"slug"`) != 2 {
+		t.Fatalf("expected 2 cached results, got: %.300s", body)
+	}
+}
+
+// TestServeMetricsMatchesAnalyzeSource asserts /metrics?exp= and the
+// cached analyze run see the same timeline (same cache entry, not a
+// re-execution with different state).
+func TestServeMetricsMatchesAnalyzeSource(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	q := "?exp=fig7&scale=0.03&apps=fft"
+	if code, _ := get(t, ts, "/api/analyze"+q); code != http.StatusOK {
+		t.Fatal("analyze failed")
+	}
+	code, m1 := get(t, ts, "/metrics"+q)
+	if code != http.StatusOK {
+		t.Fatal("metrics failed")
+	}
+	code, m2 := get(t, ts, "/metrics"+q)
+	if code != http.StatusOK || m1 != m2 {
+		t.Fatal("metrics over the same cached result diverged")
+	}
+}

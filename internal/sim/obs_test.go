@@ -91,6 +91,50 @@ func TestRecordedEventsMatchResult(t *testing.T) {
 	}
 }
 
+// TestTransferIDsCoverTimeline asserts the transfer-id plumbing is
+// complete for both mechanisms: every recorded event carries a
+// non-zero id, ids are dense from 1 up to the trace-record count
+// (each record is one transfer), and ids never decrease in recording
+// order — the single cursor advances once per record.
+func TestTransferIDsCoverTimeline(t *testing.T) {
+	tr := smallTrace(t, "fft", 0.05)
+	for _, mech := range []Mechanism{UTLB, Interrupt} {
+		cfg := DefaultConfig()
+		cfg.Mechanism = mech
+		cfg.CacheEntries = 1024
+		cfg.Seed = 42
+		buf := obs.NewBuffer("x")
+		cfg.Recorder = buf
+		if _, err := Run(tr, cfg); err != nil {
+			t.Fatal(err)
+		}
+		seen := map[uint64]bool{}
+		var last uint64
+		for _, ev := range buf.Events() {
+			if ev.Xfer == 0 {
+				t.Fatalf("mechanism %v: %s event without transfer id", mech, ev.Kind)
+			}
+			if ev.Xfer < last {
+				t.Fatalf("mechanism %v: transfer id went backwards (%d after %d)", mech, ev.Xfer, last)
+			}
+			last = ev.Xfer
+			seen[ev.Xfer] = true
+		}
+		if last != uint64(len(tr)) {
+			t.Errorf("mechanism %v: max transfer id %d != %d trace records",
+				mech, last, len(tr))
+		}
+		for id := uint64(1); id <= last; id++ {
+			if !seen[id] {
+				// Not every record produces events only if nothing at all
+				// was recorded for it; with check+probe spans on every
+				// lookup that never happens.
+				t.Errorf("mechanism %v: transfer id %d has no events", mech, id)
+			}
+		}
+	}
+}
+
 // TestClassifierObsAttribution pins the classifier's class mapping.
 func TestClassifierObsAttribution(t *testing.T) {
 	cls := newClassifier(2)

@@ -227,11 +227,23 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 	nic := nicsim.New(0, units.MB, nicClock, b, nicsim.DefaultCosts())
 	cacheCfg := tlbcache.Config{Entries: cfg.CacheEntries, Ways: cfg.Ways, IndexOffset: cfg.IndexOffset}
 
+	// One transfer cursor serves every layer of the run: each trace
+	// record Begins a new id, and every event recorded while that
+	// record is processed — check, probes, DMA fill, pins, interrupts,
+	// miss classification — carries it, so analysis can reconstruct
+	// the record's full causal chain. The cursor is allocated only
+	// when recording: the disabled path keeps its pinned alloc count,
+	// and all cursor methods are nil-safe no-ops.
 	recorder := cfg.Recorder
+	var xc *obs.XferCursor
 	if recorder != nil {
+		xc = obs.NewXferCursor()
 		host.SetRecorder(recorder)
+		host.SetXferCursor(xc)
 		b.SetRecorder(recorder, 0)
+		b.SetXferCursor(xc)
 		nic.SetRecorder(recorder)
+		nic.SetXferCursor(xc)
 	}
 
 	cls := newClassifier(cfg.CacheEntries)
@@ -257,6 +269,7 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 		recorder.Record(obs.Event{
 			Time: nicClock.Now(),
 			Arg:  uint64(vpn),
+			Xfer: xc.Current(),
 			PID:  pid,
 			Kind: kind,
 		})
@@ -275,6 +288,7 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 		}
 		if recorder != nil {
 			drv.Cache().Instrument(recorder, nicClock, 0)
+			drv.Cache().SetXferCursor(xc)
 		}
 		translator := core.NewTranslator(drv, cfg.Prefetch)
 		libs := make(map[units.ProcID]*core.Lib)
@@ -285,7 +299,7 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 			}
 			lib, err := core.NewLib(drv, proc, core.LibConfig{
 				Policy: cfg.Policy, PolicySeed: cfg.Seed, Prepin: cfg.Prepin,
-				Recorder: recorder,
+				Recorder: recorder, Xfer: xc,
 			})
 			if err != nil {
 				return res, err
@@ -293,6 +307,7 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 			libs[pid] = lib
 		}
 		for _, rec := range sorted {
+			xc.Begin()
 			lib := libs[rec.PID]
 			if err := lib.Lookup(rec.VA, int(rec.Bytes)); err != nil {
 				return res, fmt.Errorf("sim: lookup %v/%#x: %w", rec.PID, rec.VA, err)
@@ -325,6 +340,7 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 		}
 		if recorder != nil {
 			mech.Cache().Instrument(recorder, nicClock, 0)
+			mech.Cache().SetXferCursor(xc)
 		}
 		for _, pid := range sorted.PIDs() {
 			proc, err := spawn(pid)
@@ -336,6 +352,7 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 			}
 		}
 		for _, rec := range sorted {
+			xc.Begin()
 			pages := units.PagesSpanned(rec.VA, int(rec.Bytes))
 			first := rec.VA.PageOf()
 			res.NIRefs += int64(pages)

@@ -117,3 +117,32 @@ func TestInstrumentDetach(t *testing.T) {
 		t.Error("detached cache kept recording")
 	}
 }
+
+// TestXferCursorStamping asserts cache events inherit the cursor's
+// current transfer id, revert to 0 when the cursor is idle, and that a
+// nil cursor (the default) is safe.
+func TestXferCursorStamping(t *testing.T) {
+	c, buf, _ := obsCache(t)
+
+	// Default: no cursor attached, events unattributed.
+	c.Lookup(Key{PID: 1, VPN: 1})
+	if ev := buf.Events()[buf.Len()-1]; ev.Xfer != 0 {
+		t.Fatalf("event without cursor carries id %d", ev.Xfer)
+	}
+
+	xc := obs.NewXferCursor()
+	c.SetXferCursor(xc)
+	id := xc.Begin()
+	c.Lookup(Key{PID: 1, VPN: 2})
+	if ev := buf.Events()[buf.Len()-1]; ev.Xfer != id {
+		t.Fatalf("event id %d, want %d", ev.Xfer, id)
+	}
+	xc.Clear()
+	c.Lookup(Key{PID: 1, VPN: 3})
+	if ev := buf.Events()[buf.Len()-1]; ev.Xfer != 0 {
+		t.Fatalf("event after Clear carries id %d", ev.Xfer)
+	}
+	if next := xc.Begin(); next != id+1 {
+		t.Fatalf("ids not monotonic: %d after %d", next, id)
+	}
+}

@@ -90,6 +90,7 @@ type Cache struct {
 	rec     obs.Recorder
 	recTime *units.Clock
 	node    units.NodeID
+	xfer    *obs.XferCursor
 }
 
 // New returns a cache for cfg. It panics on an invalid configuration:
@@ -117,6 +118,11 @@ func (c *Cache) Instrument(r obs.Recorder, clock *units.Clock, node units.NodeID
 	c.recTime = clock
 	c.node = node
 }
+
+// SetXferCursor attaches the transfer cursor whose current id stamps
+// every recorded event (nil — the default — stamps 0). Kept separate
+// from Instrument so existing call sites are untouched.
+func (c *Cache) SetXferCursor(x *obs.XferCursor) { c.xfer = x }
 
 // SRAMBytes reports the cache's NIC SRAM footprint.
 func (c *Cache) SRAMBytes() int { return c.cfg.Entries * EntryBytes }
@@ -175,6 +181,7 @@ func (c *Cache) record(kind obs.Kind, k Key, arg2 uint64) {
 		Time: c.recTime.Now(),
 		Arg:  uint64(k.VPN),
 		Arg2: arg2,
+		Xfer: c.xfer.Current(),
 		PID:  k.PID,
 		Node: c.node,
 		Kind: kind,

@@ -30,11 +30,14 @@ func dataTag(buf BufferID, offset int) uint64 {
 }
 
 // recordFirmware emits one vmmc-track instant at the current NIC time;
-// callers nil-check n.rec first.
+// callers nil-check n.rec first. The transfer id comes from the
+// cluster-wide cursor, so a receiver's recv/notify events carry the
+// sender's id.
 func (n *Node) recordFirmware(kind obs.Kind, pid units.ProcID, bytes int) {
 	n.rec.Record(obs.Event{
 		Time: n.nic.Clock().Now(),
 		Arg:  uint64(bytes),
+		Xfer: n.xfer.Current(),
 		PID:  pid,
 		Node: n.id,
 		Kind: kind,

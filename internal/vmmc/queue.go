@@ -28,13 +28,16 @@ var ErrQueueFull = errors.New("vmmc: command queue full")
 // holds: a 4 KB SRAM buffer of 64-byte descriptors.
 const queueCapacity = commandBufBytes / 64
 
-// command is one posted request descriptor.
+// command is one posted request descriptor. xfer is the transfer id
+// allocated at post time, restored when the firmware executes the
+// command so the send's whole chain shares one id.
 type command struct {
 	proc   *Proc
 	dst    *Imported
 	offset int
 	va     units.VAddr
 	nbytes int
+	xfer   uint64
 }
 
 // PostSend enqueues a remote store without executing it. The local
@@ -53,12 +56,14 @@ func (p *Proc) PostSend(dst *Imported, offset int, va units.VAddr, nbytes int) e
 	if len(p.node.cmdq[p.PID()]) >= queueCapacity {
 		return ErrQueueFull
 	}
+	id := p.node.xfer.Begin()
+	defer p.node.xfer.Clear()
 	if err := p.lib.Lookup(va, nbytes); err != nil {
 		return err
 	}
 	p.lib.Lock(va, nbytes)
 	p.node.cmdq[p.PID()] = append(p.node.cmdq[p.PID()],
-		command{proc: p, dst: dst, offset: offset, va: va, nbytes: nbytes})
+		command{proc: p, dst: dst, offset: offset, va: va, nbytes: nbytes, xfer: id})
 	return nil
 }
 
@@ -81,7 +86,9 @@ func (n *Node) PollAll() error {
 			n.nic.ChargePoll()
 			cmd := q[0]
 			n.cmdq[pid] = q[1:]
+			n.xfer.Set(cmd.xfer)
 			err := n.firmwareSend(pid, cmd.dst, cmd.offset, cmd.va, cmd.nbytes)
+			n.xfer.Clear()
 			cmd.proc.lib.Unlock(cmd.va, cmd.nbytes)
 			if err != nil {
 				return fmt.Errorf("vmmc: executing queued send for pid %d: %w", pid, err)

@@ -83,6 +83,13 @@ type Cluster struct {
 	opts  Options
 	net   *fabric.Network
 	nodes []*Node
+
+	// xfer is the cluster-wide transfer cursor: the simulation is
+	// synchronous, so the id a sender Begins flows through the fabric
+	// callback into the receiver's deposit and notify events, letting
+	// analysis stitch one transfer's chain across nodes. Nil when not
+	// recording; all cursor methods are nil-safe.
+	xfer *obs.XferCursor
 }
 
 // NewCluster builds a cluster of opts.Nodes fully wired nodes.
@@ -91,6 +98,9 @@ func NewCluster(opts Options) (*Cluster, error) {
 	c := &Cluster{
 		opts: opts,
 		net:  fabric.NewNetwork(fabric.DefaultLinkCosts(), opts.Faults),
+	}
+	if opts.Recorder != nil {
+		c.xfer = obs.NewXferCursor()
 	}
 	for i := 0; i < opts.Nodes; i++ {
 		n, err := newNode(c, units.NodeID(i), opts)
@@ -144,8 +154,9 @@ type Node struct {
 	remaps        int64
 
 	// rec, when non-nil, receives firmware-level events (send, recv,
-	// notify) on the vmmc track.
-	rec obs.Recorder
+	// notify) on the vmmc track; xfer is the cluster's shared cursor.
+	rec  obs.Recorder
+	xfer *obs.XferCursor
 }
 
 type export struct {
@@ -182,9 +193,13 @@ func newNode(c *Cluster, id units.NodeID, opts Options) (*Node, error) {
 	}
 	if opts.Recorder != nil {
 		host.SetRecorder(opts.Recorder)
+		host.SetXferCursor(c.xfer)
 		ioBus.SetRecorder(opts.Recorder, id)
+		ioBus.SetXferCursor(c.xfer)
 		nic.SetRecorder(opts.Recorder)
+		nic.SetXferCursor(c.xfer)
 		drv.Cache().Instrument(opts.Recorder, nicClock, id)
+		drv.Cache().SetXferCursor(c.xfer)
 	}
 	n := &Node{
 		cluster:      c,
@@ -198,6 +213,7 @@ func newNode(c *Cluster, id units.NodeID, opts Options) (*Node, error) {
 		pendingFetch: make(map[uint32]*fetchState),
 		nextBuf:      1,
 		rec:          opts.Recorder,
+		xfer:         c.xfer,
 	}
 	n.ep = fabric.NewEndpoint(id, c.net, nicClock, opts.RetransmitTimeout, n.receive)
 	return n, nil
@@ -231,6 +247,9 @@ func (n *Node) NewProcess(pid units.ProcID, name string, pinLimitPages int, cfg 
 	}
 	if cfg.Recorder == nil {
 		cfg.Recorder = n.rec
+	}
+	if cfg.Xfer == nil {
+		cfg.Xfer = n.xfer
 	}
 	lib, err := core.NewLib(n.drv, proc, cfg)
 	if err != nil {

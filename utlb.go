@@ -25,12 +25,15 @@ package utlb
 
 import (
 	"io"
+	"net/http"
 
 	"utlb/internal/core"
 	"utlb/internal/experiments"
 	"utlb/internal/fabric"
 	"utlb/internal/obs"
+	"utlb/internal/obs/analyze"
 	"utlb/internal/parallel"
+	"utlb/internal/serve"
 	"utlb/internal/sim"
 	"utlb/internal/svm"
 	"utlb/internal/trace"
@@ -222,6 +225,30 @@ func WriteChromeTrace(w io.Writer, runs []EventRun) error { return obs.WriteChro
 func WriteMetrics(w io.Writer, runs []EventRun) error {
 	return obs.WritePrometheus(w, obs.Aggregate(runs))
 }
+
+// AnalysisReport is the transfer-level latency analysis: per-kind
+// duration percentiles, a per-experiment critical-path breakdown
+// (check vs probe vs DMA vs pin vs interrupt time), and the slowest
+// transfers with their event chains.
+type AnalysisReport = analyze.Report
+
+// AnalyzeEvents computes the transfer-level report over runs, keeping
+// the topK slowest transfers per experiment (topK < 1 means 10). Pure
+// function of its input: byte-stable at any parallelism.
+func AnalyzeEvents(runs []EventRun, topK int) *AnalysisReport {
+	return analyze.Analyze(runs, topK)
+}
+
+// WriteAnalysis analyzes runs and writes the report as indented JSON.
+func WriteAnalysis(w io.Writer, runs []EventRun, topK int) error {
+	return analyze.WriteJSON(w, analyze.Analyze(runs, topK))
+}
+
+// NewObservabilityHandler returns the live observability HTTP handler
+// behind `utlbsim serve`: /metrics, /api/runs, /api/runs/{slug}/trace,
+// /api/analyze and /debug/pprof/, with experiments run on demand from
+// query parameters.
+func NewObservabilityHandler() http.Handler { return serve.New().Handler() }
 
 // Experiment layer.
 
