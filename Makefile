@@ -4,15 +4,22 @@ GO ?= go
 # this directory as a build artifact.
 ARTIFACTS ?= artifacts
 
-.PHONY: all check vet build test race bench bench-json bench-compare obs-smoke clean
+.PHONY: all check vet lint build test race bench bench-json bench-compare obs-smoke clean
 
 all: check
 
 # The full local gate: what CI runs, in order.
-check: vet build race bench obs-smoke
+check: vet lint build race bench obs-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (internal/lint via cmd/utlblint):
+# determinism, obs-safety, units-hygiene, goroutine-discipline and
+# printf-purity. Blocking in CI; see DESIGN.md §9 for the rules and
+# the //lint:ignore suppression syntax.
+lint:
+	$(GO) run ./cmd/utlblint ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,127 @@
+// Command utlblint runs the project's static-analysis suite
+// (internal/lint) over the module and exits non-zero on any finding.
+// It is the standing correctness gate for the repo's cross-cutting
+// invariants: determinism at any -parallel width, the zero-alloc
+// disabled-recorder path, units-typed cost arithmetic, pooled
+// concurrency, and silence in library packages.
+//
+// Usage:
+//
+//	utlblint [packages]     # ./... by default; ./internal/... narrows
+//	utlblint -list          # describe the rules
+//
+// Findings print as path:line:col: rule: message. Intentional
+// violations are suppressed in the source with
+//
+//	//lint:ignore <rule> <reason>
+//
+// on (or directly above) the offending line; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"utlb/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: utlblint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	rules := lint.Rules()
+	if *list {
+		for _, r := range rules {
+			fmt.Printf("%-14s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := lint.Load(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings := lint.LintProgram(prog, rules)
+	findings = filterByPatterns(findings, prog, cwd, patterns)
+
+	if n := lint.WriteFindings(os.Stdout, findings, cwd); n > 0 {
+		fmt.Fprintf(os.Stderr, "utlblint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "utlblint: %v\n", err)
+	os.Exit(2)
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// filterByPatterns keeps findings under the directories the go-style
+// package patterns name: "./..." keeps everything below its base,
+// "./internal/sim" exactly that directory.
+func filterByPatterns(findings []lint.Finding, prog *lint.Program, cwd string, patterns []string) []lint.Finding {
+	type scope struct {
+		dir       string
+		recursive bool
+	}
+	var scopes []scope
+	for _, p := range patterns {
+		rec := false
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			rec = true
+			p = rest
+			if p == "." || p == "" {
+				p = "."
+			}
+		}
+		dir := p
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(cwd, dir)
+		}
+		scopes = append(scopes, scope{dir: filepath.Clean(dir), recursive: rec})
+	}
+	var out []lint.Finding
+	for _, f := range findings {
+		dir := filepath.Dir(f.Pos.Filename)
+		for _, s := range scopes {
+			if dir == s.dir || (s.recursive && strings.HasPrefix(dir, s.dir+string(filepath.Separator))) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}

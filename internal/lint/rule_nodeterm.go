@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// nodetermPkgs are the module-relative package trees whose output must
+// be byte-identical at any -parallel width: the simulation core, the
+// experiment engine, the observability pipeline and the workload
+// generators. (cmd/ and the fabric fault injector are deliberately
+// outside: they either don't feed experiment output or own their
+// seeds explicitly.)
+var nodetermPkgs = []string{
+	"internal/sim", "internal/core", "internal/vmmc",
+	"internal/experiments", "internal/obs", "internal/workload",
+}
+
+// wallClockFuncs are the time-package functions that read or depend on
+// the wall clock. Simulated time must come from units.Clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// seededRandFuncs are the only math/rand entry points deterministic
+// code may call: constructors for an explicitly seeded generator.
+// Everything else (rand.Intn, rand.Int63, ...) draws from the
+// process-global source, whose stream depends on what else ran.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func ruleNodeterm() Rule {
+	return Rule{
+		Name: "nodeterm",
+		Doc:  "deterministic packages must not read wall clocks, use the global math/rand source, or emit map-ordered output without a sort",
+		Check: func(prog *Program, pkg *Package) []Finding {
+			audited := make([]string, len(nodetermPkgs))
+			for i, p := range nodetermPkgs {
+				audited[i] = prog.Module + "/" + p
+			}
+			if !hasPrefixAny(pkg.ImportPath, audited) {
+				return nil
+			}
+			var out []Finding
+			for _, file := range pkg.Files {
+				walkStack(file, func(stack []ast.Node, n ast.Node) {
+					switch n := n.(type) {
+					case *ast.CallExpr:
+						path, name, ok := pkg.calleePkgFunc(n)
+						if !ok {
+							return
+						}
+						switch {
+						case path == "time" && wallClockFuncs[name]:
+							out = append(out, Finding{
+								Rule: "nodeterm", Pos: pkg.Fset.Position(n.Pos()),
+								Msg: fmt.Sprintf("time.%s reads the wall clock; simulated time must come from units.Clock", name),
+							})
+						case (path == "math/rand" || path == "math/rand/v2") && !seededRandFuncs[name]:
+							out = append(out, Finding{
+								Rule: "nodeterm", Pos: pkg.Fset.Position(n.Pos()),
+								Msg: fmt.Sprintf("rand.%s draws from the unseeded global source; use rand.New(rand.NewSource(seed))", name),
+							})
+						}
+					case *ast.RangeStmt:
+						out = append(out, checkMapRange(pkg, stack, n)...)
+					}
+				})
+			}
+			return out
+		},
+	}
+}
+
+// checkMapRange flags a range over a map whose body collects elements
+// (appends) without a sort call either inside the loop or later in the
+// enclosing block — the pattern that leaks map iteration order into
+// output. Pure reductions (counting, summing) are order-insensitive
+// and pass.
+func checkMapRange(pkg *Package, stack []ast.Node, rng *ast.RangeStmt) []Finding {
+	t := pkg.typeOf(rng.X)
+	if t == nil {
+		return nil
+	}
+	if _, isMap := types.Unalias(t).Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	targets := appendTargets(rng.Body)
+	if len(targets) == 0 {
+		return nil
+	}
+	if containsSortOf(pkg, rng.Body, targets) {
+		return nil
+	}
+	// Find the statement in the nearest enclosing block that contains
+	// this range, then look for a sort of the collected slice in any
+	// later sibling statement. Sorting some other value doesn't count.
+	for i := len(stack) - 1; i >= 0; i-- {
+		block, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		var container ast.Node = rng
+		if i+1 < len(stack) {
+			container = stack[i+1]
+		}
+		for j, stmt := range block.List {
+			if stmt != container {
+				continue
+			}
+			for _, later := range block.List[j+1:] {
+				if containsSortOf(pkg, later, targets) {
+					return nil
+				}
+			}
+		}
+		break
+	}
+	return []Finding{{
+		Rule: "nodeterm", Pos: pkg.Fset.Position(rng.Pos()),
+		Msg: "range over a map collects elements in nondeterministic order; sort the result before it feeds output",
+	}}
+}
+
+// appendTargets collects the spellings of the slices the node appends
+// to — the values whose final order the loop determines.
+func appendTargets(n ast.Node) map[string]bool {
+	targets := map[string]bool{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+			targets[types.ExprString(call.Args[0])] = true
+		}
+		return true
+	})
+	return targets
+}
+
+// containsSortOf reports whether the node calls anything from the sort
+// or slices packages (sort.Strings, sort.Slice, slices.Sort, ...) with
+// one of the collected slices as an argument.
+func containsSortOf(pkg *Package, n ast.Node, targets map[string]bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if path, _, ok := pkg.calleePkgFunc(call); ok && (path == "sort" || path == "slices") {
+			for _, arg := range call.Args {
+				if targets[types.ExprString(arg)] {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

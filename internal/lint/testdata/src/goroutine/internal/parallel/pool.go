@@ -1,0 +1,17 @@
+// Package parallel is a lint fixture: the pool package may start
+// goroutines.
+package parallel
+
+// Run starts one worker per task — allowed here.
+func Run(tasks []func()) {
+	done := make(chan struct{})
+	for _, t := range tasks {
+		go func() { // good: internal/parallel owns goroutine creation
+			t()
+			done <- struct{}{}
+		}()
+	}
+	for range tasks {
+		<-done
+	}
+}

@@ -1,0 +1,14 @@
+// Package sim is a lint fixture: a naked goroutine outside the pool.
+package sim
+
+// Spawn starts work concurrently, bypassing the deterministic pool.
+func Spawn(f func()) {
+	go f() // bad: naked goroutine in a simulation package
+	done := make(chan struct{})
+	//lint:ignore goroutine fixture demo of an accepted raw goroutine
+	go func() {
+		f()
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,78 @@
+// Package sim is a lint fixture: determinism violations in an audited
+// package tree.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// collector mirrors the real obs.Collector shape: a stdlib-typed
+// field (degraded to a placeholder during lint type checking) next to
+// the map the rule must still resolve.
+type collector struct {
+	mu      sync.Mutex
+	buffers map[string]int
+}
+
+// Labels collects map keys without sorting — the rule must see through
+// the partially resolved struct.
+func (c *collector) Labels() []string {
+	var labels []string
+	for l := range c.buffers { // bad: unsorted collection
+		labels = append(labels, l)
+	}
+	return labels
+}
+
+// SortedLabels is the deterministic version.
+func (c *collector) SortedLabels() []string {
+	var labels []string
+	for l := range c.buffers { // good: sorted below
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// Bad exercises every nodeterm diagnostic.
+func Bad(seed int64) []string {
+	t0 := time.Now()
+	_ = time.Since(t0)
+	_ = rand.Intn(10)
+
+	rng := rand.New(rand.NewSource(seed)) // good: explicitly seeded
+	_ = rng.Intn(10)                      // good: method on the seeded generator
+
+	m := map[string]int{"a": 1, "b": 2}
+
+	var keys []string
+	for k := range m { // bad: collected order leaks out unsorted
+		keys = append(keys, k)
+	}
+
+	var ordered []string
+	for k := range m { // good: sorted before use
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+
+	total := 0
+	for _, v := range m { // good: pure reduction, order-insensitive
+		total += v
+	}
+	_ = total
+
+	//lint:ignore nodeterm fixture demo of an accepted unsorted collection
+	for k := range m {
+		keys = append(keys, k)
+	}
+
+	//lint:ignore nodeterm
+	for k := range m { // malformed suppression above: both findings surface
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,63 @@
+// Package consumer is a lint fixture: obs-safety violations in a
+// recording component.
+package consumer
+
+import "utlb/internal/obs"
+
+// Comp holds a disabled-by-default recorder like every simulation
+// component.
+type Comp struct {
+	rec obs.Recorder
+}
+
+// BadUnguarded records without any nil check in the function.
+func (c *Comp) BadUnguarded() {
+	c.rec.Record(obs.Event{Kind: obs.KindCacheHit})
+}
+
+// GoodGuarded nil-checks before recording.
+func (c *Comp) GoodGuarded() {
+	if c.rec != nil {
+		c.rec.Record(obs.Event{Kind: obs.KindCacheHit})
+	}
+}
+
+// GoodDeferred records in a deferred closure under the outer
+// function's guard — the check may sit in any enclosing function.
+func (c *Comp) GoodDeferred() {
+	if c.rec != nil {
+		defer func() {
+			c.rec.Record(obs.Event{Kind: obs.KindCacheHit})
+		}()
+	}
+}
+
+// GoodSuppressed is the documented helper contract: callers nil-check.
+func (c *Comp) GoodSuppressed() {
+	//lint:ignore obssafety fixture demo of the callers-nil-check helper contract
+	c.rec.Record(obs.Event{Kind: obs.KindCacheHit})
+}
+
+// BadKindLiteral compares a kind name against a string literal.
+func BadKindLiteral(name string) bool {
+	return name == "cache_hit"
+}
+
+// BadKindSwitch switches on kind-name literals.
+func BadKindSwitch(name string) int {
+	switch name {
+	case "dma_read":
+		return 1
+	case "not_a_kind": // good: not a taxonomy name
+		return 2
+	}
+	return 0
+}
+
+// BadKindConversion fabricates a kind from a numeric literal;
+// GoodKindConversion converts a variable (taxonomy iteration).
+func BadKindConversion() obs.Kind { return obs.Kind(2) }
+
+// GoodKindConversion converts a loop variable, which is how exporters
+// iterate the taxonomy.
+func GoodKindConversion(i int) obs.Kind { return obs.Kind(i) }

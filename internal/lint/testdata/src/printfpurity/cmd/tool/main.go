@@ -1,0 +1,8 @@
+// Command tool is a lint fixture: cmd/ owns process output.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("output belongs here") // good: not a library package
+}

@@ -1,0 +1,22 @@
+// Package sim is a lint fixture: stray output from a library package.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"log"
+)
+
+// Debug exercises the printfpurity diagnostics.
+func Debug(w io.Writer, v int) string {
+	fmt.Println("v =", v)
+	fmt.Printf("v=%d\n", v)
+	log.Printf("v=%d", v)
+	println("raw")
+
+	fmt.Fprintf(w, "v=%d\n", v) // good: explicit writer chosen by the caller
+
+	//lint:ignore printfpurity fixture demo of an accepted debug print
+	fmt.Println("suppressed")
+	return fmt.Sprintf("%d", v) // good: returns a value
+}

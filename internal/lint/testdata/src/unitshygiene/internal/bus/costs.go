@@ -1,0 +1,23 @@
+// Package bus is a lint fixture: units-hygiene violations in a
+// cost-model package.
+package bus
+
+import "utlb/internal/units"
+
+// Cost exercises the unitshygiene diagnostics.
+func Cost(n int, per units.Time) units.Time {
+	total := per * 3     // bad: bare multiplier on a units quantity
+	slack := total - 100 // bad: bare literal in units arithmetic
+
+	total += units.Time(n) * per   // good: both operands units-typed
+	total += per + units.Time(40)  // good: literal wrapped in a conversion
+	total += 2 * units.Microsecond // bad: bare literal times a units constant
+	words := n * 8                 // good: plain integer arithmetic
+	if total > 0 && slack > 0 {    // good: comparisons are unit-safe
+		total += units.Time(words)
+	}
+
+	//lint:ignore unitshygiene fixture demo of an accepted raw scale factor
+	total = total / 2
+	return total
+}

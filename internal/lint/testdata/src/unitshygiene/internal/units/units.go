@@ -1,0 +1,15 @@
+// Package units is a lint fixture: a miniature of the real scalar
+// types so the unitshygiene rule can resolve them.
+package units
+
+// Time is simulated time in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+)
+
+// FromMicros converts floating-point microseconds to a Time.
+func FromMicros(us float64) Time { return Time(us * float64(Microsecond)) }

@@ -3,6 +3,7 @@ package vmmc
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"utlb/internal/units"
 )
@@ -108,10 +109,6 @@ func (n *Node) queuedPIDs() []units.ProcID {
 	for pid := range n.cmdq {
 		pids = append(pids, pid)
 	}
-	for i := 1; i < len(pids); i++ {
-		for j := i; j > 0 && pids[j] < pids[j-1]; j-- {
-			pids[j], pids[j-1] = pids[j-1], pids[j]
-		}
-	}
+	slices.Sort(pids)
 	return pids
 }
