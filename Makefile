@@ -4,12 +4,12 @@ GO ?= go
 # this directory as a build artifact.
 ARTIFACTS ?= artifacts
 
-.PHONY: all check vet lint build test race bench bench-json bench-compare obs-smoke clean
+.PHONY: all check vet lint build test race bench bench-json bench-compare obs-smoke chaos clean
 
 all: check
 
 # The full local gate: what CI runs, in order.
-check: vet lint build race bench obs-smoke
+check: vet lint build race bench obs-smoke chaos
 
 vet:
 	$(GO) vet ./...
@@ -68,6 +68,19 @@ obs-smoke:
 	diff $(ARTIFACTS)/obs-smoke/m1.txt $(ARTIFACTS)/obs-smoke/m8.txt
 	diff $(ARTIFACTS)/obs-smoke/analyze1.json $(ARTIFACTS)/obs-smoke/analyze8.json
 	$(GO) run ./cmd/traceinfo -events $(ARTIFACTS)/obs-smoke/run1.json | head -5
+
+# Chaos soak: the fault-injection sweep at two fault seeds, each run
+# sequentially and at width 8, diffed byte-identical — deterministic
+# fault schedules are what keep graceful-degradation results
+# reproducible (DESIGN.md §10).
+chaos:
+	rm -rf $(ARTIFACTS)/chaos && mkdir -p $(ARTIFACTS)/chaos
+	for seed in 7 1998; do \
+		$(GO) run ./cmd/utlbsim -exp chaos -scale 0.5 -fault-seed $$seed -parallel 1 > $(ARTIFACTS)/chaos/s$$seed-p1.txt && \
+		$(GO) run ./cmd/utlbsim -exp chaos -scale 0.5 -fault-seed $$seed -parallel 8 > $(ARTIFACTS)/chaos/s$$seed-p8.txt && \
+		diff $(ARTIFACTS)/chaos/s$$seed-p1.txt $(ARTIFACTS)/chaos/s$$seed-p8.txt || exit 1; \
+	done
+	@echo "chaos: byte-identical at widths 1 and 8 for both fault seeds"
 
 clean:
 	$(GO) clean ./...

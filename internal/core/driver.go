@@ -113,9 +113,12 @@ func (d *Driver) IoctlPin(proc *hostos.Process, vpns []units.VPN) ([]units.PFN, 
 	}
 	for i, vpn := range vpns {
 		if err := t.Install(vpn, pfns[i]); err != nil {
-			// Table memory exhausted: undo the pins and fail whole.
+			// Table memory exhausted: undo the pins and fail whole. A
+			// failed rollback is reported alongside, not fatal — the
+			// caller sees both and the node degrades instead of
+			// crashing.
 			if uerr := d.host.UnpinPages(proc, vpns); uerr != nil {
-				panic(fmt.Sprintf("core: rollback unpin failed: %v", uerr))
+				err = fmt.Errorf("%w (rollback unpin also failed: %v)", err, uerr)
 			}
 			for _, done := range vpns[:i] {
 				t.Invalidate(done)

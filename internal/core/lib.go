@@ -6,6 +6,7 @@ import (
 
 	"utlb/internal/hostos"
 	"utlb/internal/obs"
+	"utlb/internal/phys"
 	"utlb/internal/units"
 	"utlb/internal/vm"
 )
@@ -205,12 +206,15 @@ func (l *Lib) pinAll(va units.VAddr, nbytes int, list []units.VPN) error {
 			}
 			return nil
 		}
-		if !errors.Is(err, vm.ErrPinLimit) {
+		if !errors.Is(err, vm.ErrPinLimit) && !errors.Is(err, phys.ErrOutOfMemory) {
 			return fmt.Errorf("core: pinning %d pages: %w", len(list), err)
 		}
 		// Capacity: evict one victim and retry. If the request alone
 		// exceeds the quota, shrink it from the tail — the lookup's own
-		// pages must win over speculative pre-pins.
+		// pages must win over speculative pre-pins. Frame exhaustion
+		// that survived the host's reclaim-retry gets the same
+		// treatment: unpinning a victim makes its frame reclaimable on
+		// the next attempt's reclaim pass.
 		if err := l.evictOne(); err != nil {
 			if len(list) > 1 {
 				list = list[:len(list)-1]

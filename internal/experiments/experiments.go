@@ -34,6 +34,9 @@ type Options struct {
 	// labelled buffer (experiment/app/config/node), so the merged
 	// export is byte-identical at any -parallel width.
 	Obs *obs.Collector
+	// Fault parameterises the chaos experiment's deterministic fault
+	// injection (see chaos.go); the zero value selects the defaults.
+	Fault FaultOptions
 }
 
 // DefaultOptions runs the full paper-scale evaluation.
@@ -140,7 +143,7 @@ var Names = []string{
 	"table1", "table2", "table3", "table4", "table5",
 	"table6", "table7", "table8", "fig7", "fig8",
 	"ablation-policies", "ablation-perprocess", "ablation-multiprog",
-	"svm-pipeline",
+	"svm-pipeline", "chaos",
 }
 
 // aliases maps shorthand experiment names (t6, f7) to canonical ones.
@@ -202,6 +205,8 @@ func Run(name string, opts Options, w io.Writer) error {
 		out, err = AblationMultiprog(opts)
 	case "svm-pipeline":
 		out, err = SVMPipeline(opts)
+	case "chaos":
+		out, err = Chaos(opts)
 	default:
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names)
 	}

@@ -15,6 +15,8 @@ import (
 	"hash/crc32"
 	"math/rand"
 
+	"utlb/internal/fault"
+	"utlb/internal/obs"
 	"utlb/internal/units"
 )
 
@@ -117,6 +119,14 @@ type Network struct {
 	// routing tracks per-pair route selection and failures (routes.go).
 	routing map[linkKey]*routeState
 
+	// dropFault/corruptFault are injected fault points layered on top
+	// of the FaultPlan rates; nil — the default — never fires.
+	dropFault    *fault.Point
+	corruptFault *fault.Point
+	// rec, when non-nil, records every drop/corruption (injected or
+	// plan-driven) as an instant on the sending node's wire time.
+	rec obs.Recorder
+
 	sent      int64
 	dropped   int64
 	corrupted int64
@@ -140,6 +150,28 @@ func (n *Network) Costs() LinkCosts { return n.costs }
 // Attach registers the packet handler for node id. Attaching twice
 // replaces the handler.
 func (n *Network) Attach(id units.NodeID, h Handler) { n.handlers[id] = h }
+
+// SetFaultPoints arms injected drop/corruption points on top of the
+// FaultPlan rates. Either may be nil (disabled).
+func (n *Network) SetFaultPoints(drop, corrupt *fault.Point) {
+	n.dropFault = drop
+	n.corruptFault = corrupt
+}
+
+// SetRecorder attaches r: wire faults are recorded as instants on the
+// nic track of the sending node. nil detaches.
+func (n *Network) SetRecorder(r obs.Recorder) { n.rec = r }
+
+// record emits one wire-fault instant; callers nil-check n.rec first.
+func (n *Network) record(kind obs.Kind, pkt *Packet, t units.Time) {
+	//lint:ignore obssafety callers nil-check n.rec so the disabled path never evaluates the Event args
+	n.rec.Record(obs.Event{
+		Time: t,
+		Arg:  uint64(pkt.WireBytes()),
+		Node: pkt.Src,
+		Kind: kind,
+	})
+}
 
 // Stats reports (sent, delivered, dropped, corrupted) packet counts.
 func (n *Network) Stats() (sent, delivered, dropped, corrupted int64) {
@@ -171,16 +203,35 @@ func (n *Network) Transmit(pkt *Packet, depart units.Time) (units.Time, bool) {
 	arrival := start + n.costs.TransferTime(len(pkt.Payload))
 	n.busyUntil[pkt.Src] = start + units.Time(pkt.WireBytes())*n.costs.PerByte
 
-	if n.faults.DropRate > 0 && n.rng.Float64() < n.faults.DropRate {
+	// Injected drops (fault.SiteFabricDrop) check first; when the
+	// point is nil the plan-driven coin flips exactly as before.
+	if n.dropFault.Fire() ||
+		(n.faults.DropRate > 0 && n.rng.Float64() < n.faults.DropRate) {
 		n.dropped++
+		if n.rec != nil {
+			n.record(obs.KindFaultDrop, pkt, start)
+		}
 		return arrival, false
 	}
 	delivered := *pkt
 	delivered.Payload = append([]byte(nil), pkt.Payload...)
-	if n.faults.CorruptRate > 0 && len(delivered.Payload) > 0 &&
-		n.rng.Float64() < n.faults.CorruptRate {
+	corrupt := false
+	if len(delivered.Payload) > 0 {
+		if n.corruptFault.Fire() {
+			// Injected corruption flips the first byte; any flip is
+			// equivalent under the receiver's CRC check.
+			corrupt = true
+			delivered.Payload[0] ^= 0xff
+		} else if n.faults.CorruptRate > 0 && n.rng.Float64() < n.faults.CorruptRate {
+			corrupt = true
+			delivered.Payload[n.rng.Intn(len(delivered.Payload))] ^= 0xff
+		}
+	}
+	if corrupt {
 		n.corrupted++
-		delivered.Payload[n.rng.Intn(len(delivered.Payload))] ^= 0xff
+		if n.rec != nil {
+			n.record(obs.KindFaultCorrupt, pkt, start)
+		}
 	}
 	n.delivered++
 	h(&delivered, arrival)

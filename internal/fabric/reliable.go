@@ -18,6 +18,17 @@ var ErrLinkDead = fmt.Errorf("fabric: retransmit limit exceeded, link presumed d
 // endpoint.
 type DataHandler func(src units.NodeID, payload []byte, tag uint64, arrival units.Time)
 
+// Sequence numbers are 32-bit and wrap; comparisons use serial-number
+// arithmetic (RFC 1982 with window 2^31): a and b compare correctly
+// as long as their true distance stays under 2^31, which stop-and-wait
+// guarantees — at most one unacknowledged sequence per peer.
+
+// seqGE reports a >= b modulo 2^32.
+func seqGE(a, b uint32) bool { return int32(a-b) >= 0 }
+
+// seqLT reports a < b modulo 2^32.
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
 // Endpoint is one node's reliable data-link layer: a stop-and-wait
 // retransmission protocol with cumulative per-peer sequence numbers,
 // mirroring the link-level protocol between VMMC-2 network interfaces.
@@ -94,7 +105,7 @@ func (e *Endpoint) Send(dst units.NodeID, payload []byte, tag uint64) error {
 		// The receive path runs synchronously during Transmit; if the
 		// data packet survived its CRC check the receiver has sent an
 		// ack back, updating e.acked via our own receive handler.
-		if acked, ok := e.acked[dst]; ok && acked >= seq {
+		if acked, ok := e.acked[dst]; ok && seqGE(acked, seq) {
 			e.nextSeq[dst] = seq + 1
 			return nil
 		}
@@ -109,7 +120,7 @@ func (e *Endpoint) receive(pkt *Packet, arrival units.Time) {
 	e.clock.AdvanceTo(arrival)
 	switch pkt.Kind {
 	case KindAck:
-		if cur, ok := e.acked[pkt.Src]; !ok || pkt.AckSeq > cur {
+		if cur, ok := e.acked[pkt.Src]; !ok || seqLT(cur, pkt.AckSeq) {
 			e.acked[pkt.Src] = pkt.AckSeq
 		}
 	case KindData:
@@ -125,7 +136,7 @@ func (e *Endpoint) receive(pkt *Packet, arrival units.Time) {
 			if e.handler != nil {
 				e.handler(pkt.Src, pkt.Payload, pkt.Tag, arrival)
 			}
-		case pkt.Seq < expected:
+		case seqLT(pkt.Seq, expected):
 			e.duplicates++ // retransmission of already-delivered data
 		default:
 			// Out of order is impossible under stop-and-wait with a

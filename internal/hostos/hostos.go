@@ -11,8 +11,10 @@
 package hostos
 
 import (
+	"errors"
 	"fmt"
 
+	"utlb/internal/fault"
 	"utlb/internal/obs"
 	"utlb/internal/phys"
 	"utlb/internal/units"
@@ -163,6 +165,14 @@ type Host struct {
 	// with the transfer in progress.
 	rec  obs.Recorder
 	xfer *obs.XferCursor
+
+	// pinFault, when armed, makes pin attempts fail with injected
+	// frame exhaustion (nil — the default — never fires).
+	pinFault *fault.Point
+	// Reclaim/retry counters (reclaim.go accessors).
+	reclaims        int64
+	framesReclaimed int64
+	pinRetries      int64
 }
 
 // New returns a host with the given node id, memory size in bytes, and
@@ -205,6 +215,10 @@ func (h *Host) SetXferCursor(x *obs.XferCursor) { h.xfer = x }
 // XferCursor returns the attached cursor (possibly nil; all cursor
 // methods are nil-safe), for components recording via Recorder().
 func (h *Host) XferCursor() *obs.XferCursor { return h.xfer }
+
+// SetPinFault arms the injected frame-exhaustion fault on the pin
+// path (fault.SiteHostPin). nil — the default — disables injection.
+func (h *Host) SetPinFault(p *fault.Point) { h.pinFault = p }
 
 // recordSpan emits one host span; callers nil-check h.rec first.
 func (h *Host) recordSpan(kind obs.Kind, start units.Time, pid units.ProcID, pages int) {
@@ -260,22 +274,96 @@ func (h *Host) PinPagesInKernel(p *Process, vpns []units.VPN) ([]units.PFN, erro
 	return h.pinLocked(p, vpns)
 }
 
+// maxPinAttempts bounds how many reclaim-and-retry rounds one page pin
+// gets before its frame-exhaustion error is returned to the caller.
+const maxPinAttempts = 3
+
 func (h *Host) pinLocked(p *Process, vpns []units.VPN) ([]units.PFN, error) {
 	pfns := make([]units.PFN, 0, len(vpns))
 	for i, vpn := range vpns {
-		pfn, err := p.space.Pin(vpn)
+		pfn, err := h.pinOne(p, vpn, len(vpns)-i)
 		if err != nil {
+			// Roll back the pages already pinned. Each successful Pin
+			// incremented its page's pin count by exactly one — a VPN
+			// appearing twice in vpns was pinned twice — so one Unpin
+			// per completed entry restores every count exactly.
+			var rerr error
 			for _, done := range vpns[:i] {
-				// Unpin cannot fail here: we just pinned these pages.
-				if uerr := p.space.Unpin(done); uerr != nil {
-					panic(fmt.Sprintf("hostos: rollback unpin failed: %v", uerr))
+				if uerr := p.space.Unpin(done); uerr != nil && rerr == nil {
+					rerr = uerr
 				}
 			}
-			return nil, fmt.Errorf("hostos: pin page %#x for pid %d: %w", vpn, p.pid, err)
+			err = fmt.Errorf("hostos: pin page %#x for pid %d: %w", vpn, p.pid, err)
+			if rerr != nil {
+				// Reachable under injected faults (a misbehaving
+				// space): degrade to a reported error, not a crash.
+				err = fmt.Errorf("%w (rollback unpin also failed: %v)", err, rerr)
+			}
+			return nil, err
 		}
 		pfns = append(pfns, pfn)
 	}
 	return pfns, nil
+}
+
+// pinOne pins a single page, absorbing transient frame exhaustion:
+// when the attempt fails for lack of free frames (organic
+// phys.ErrOutOfMemory or an injected fault), the host runs the page
+// reclaimer to evict unpinned pages and retries, up to maxPinAttempts
+// rounds, charging reclaim work to the host clock. want sizes the
+// reclaim request (the remaining pages of the current ioctl). Quota
+// errors (vm.ErrPinLimit) are not retried here — freeing the process'
+// own quota is the user-level library's eviction policy's job.
+func (h *Host) pinOne(p *Process, vpn units.VPN, want int) (units.PFN, error) {
+	for attempt := 1; ; attempt++ {
+		pfn, err := h.tryPin(p, vpn)
+		if err == nil {
+			return pfn, nil
+		}
+		if !errors.Is(err, phys.ErrOutOfMemory) || attempt >= maxPinAttempts {
+			return units.NoPFN, err
+		}
+		// Memory pressure: take frames back from unpinned pages and
+		// retry. A pass that frees nothing cannot make the retry
+		// succeed, so give up early (degraded but correct).
+		if h.Reclaim(want) == 0 {
+			return units.NoPFN, err
+		}
+		h.pinRetries++
+		if h.rec != nil {
+			h.recordInstant(obs.KindPinRetry, p.pid, uint64(attempt))
+		}
+	}
+}
+
+// tryPin is one pin attempt against the space, with the injected
+// frame-exhaustion fault applied first. Injected failures wrap
+// phys.ErrOutOfMemory so the reclaim-retry path treats them exactly
+// like organic exhaustion (and fault.ErrInjected so tests can tell
+// them apart).
+func (h *Host) tryPin(p *Process, vpn units.VPN) (units.PFN, error) {
+	if h.pinFault.Fire() {
+		if h.rec != nil {
+			h.recordInstant(obs.KindFaultPin, p.pid, uint64(vpn))
+		}
+		return units.NoPFN, fmt.Errorf("hostos: pin page %#x: %w (%w)",
+			vpn, phys.ErrOutOfMemory, fault.ErrInjected)
+	}
+	return p.space.Pin(vpn)
+}
+
+// recordInstant emits one zero-duration host event; callers nil-check
+// h.rec first.
+func (h *Host) recordInstant(kind obs.Kind, pid units.ProcID, arg uint64) {
+	//lint:ignore obssafety callers nil-check h.rec so the disabled path never evaluates the Event args
+	h.rec.Record(obs.Event{
+		Time: h.clock.Now(),
+		Arg:  arg,
+		Xfer: h.xfer.Current(),
+		PID:  pid,
+		Node: h.id,
+		Kind: kind,
+	})
 }
 
 // UnpinPages is the kernel unpin facility: charges the ioctl cost and

@@ -3,6 +3,7 @@ package hostos
 import (
 	"sort"
 
+	"utlb/internal/obs"
 	"utlb/internal/units"
 )
 
@@ -26,10 +27,16 @@ type ReclaimSpace interface {
 // Reclaim frees up to want frames by evicting unpinned pages across
 // all processes (round-robin by PID for determinism). It reports how
 // many frames were actually reclaimed. Pinned pages are never touched.
+//
+// The pin path (hostos.go pinOne) invokes Reclaim when an attempt hits
+// frame exhaustion, then retries — the degraded-but-correct regime the
+// paper's pin economy is built for: paging pressure may slow a pin
+// down, but it only fails once nothing evictable remains.
 func (h *Host) Reclaim(want int) int {
 	if want <= 0 {
 		return 0
 	}
+	start := h.clock.Now()
 	// Deterministic order: ascending PID.
 	pids := make([]units.ProcID, 0, len(h.procs))
 	for pid := range h.procs {
@@ -61,8 +68,38 @@ func (h *Host) Reclaim(want int) int {
 		}
 	}
 	h.clock.Advance(units.Time(reclaimed) * h.costs.PinPerPage) // per-frame reclaim work
+	h.reclaims++
+	h.framesReclaimed += int64(reclaimed)
+	if h.rec != nil {
+		h.recordReclaim(start, reclaimed, want)
+	}
 	return reclaimed
 }
+
+// recordReclaim emits the reclaimer-pass span; callers nil-check h.rec
+// first.
+func (h *Host) recordReclaim(start units.Time, frames, want int) {
+	//lint:ignore obssafety callers nil-check h.rec so the disabled path never evaluates the Event args
+	h.rec.Record(obs.Event{
+		Time: start,
+		Dur:  h.clock.Now() - start,
+		Arg:  uint64(frames),
+		Arg2: uint64(want),
+		Xfer: h.xfer.Current(),
+		Node: h.id,
+		Kind: obs.KindReclaim,
+	})
+}
+
+// Reclaims reports how many reclaimer passes have run.
+func (h *Host) Reclaims() int64 { return h.reclaims }
+
+// FramesReclaimed reports the cumulative frames taken back.
+func (h *Host) FramesReclaimed() int64 { return h.framesReclaimed }
+
+// PinRetries reports how many pin attempts were retried after a
+// reclaim pass.
+func (h *Host) PinRetries() int64 { return h.pinRetries }
 
 // MemoryPressure reports the fraction of physical frames in use.
 func (h *Host) MemoryPressure() float64 {

@@ -8,13 +8,15 @@ import (
 
 // nodetermPkgs are the module-relative package trees whose output must
 // be byte-identical at any -parallel width: the simulation core, the
-// experiment engine, the observability pipeline and the workload
-// generators. (cmd/ and the fabric fault injector are deliberately
-// outside: they either don't feed experiment output or own their
-// seeds explicitly.)
+// experiment engine, the observability pipeline, the workload
+// generators and the fault injector — injected faults are part of
+// experiment output, so the injector is held to the same bar. (cmd/
+// and the fabric plan-RNG are deliberately outside: they either don't
+// feed experiment output or own their seeds explicitly.)
 var nodetermPkgs = []string{
 	"internal/sim", "internal/core", "internal/vmmc",
 	"internal/experiments", "internal/obs", "internal/workload",
+	"internal/fault",
 }
 
 // wallClockFuncs are the time-package functions that read or depend on

@@ -1,0 +1,26 @@
+// Package fault is a lint fixture: the fault injector is part of the
+// audited determinism surface — per-site generators must be seeded.
+package fault
+
+import "math/rand"
+
+// Point mirrors the real fault.Point shape: a per-site seeded PRNG.
+type Point struct {
+	rng *rand.Rand
+}
+
+// NewPoint derives its generator from an explicit seed.
+func NewPoint(seed int64) *Point {
+	return &Point{rng: rand.New(rand.NewSource(seed))} // good: explicitly seeded
+}
+
+// Fire draws from the point's own generator.
+func (p *Point) Fire(rate float64) bool {
+	return p.rng.Float64() < rate // good: method on the seeded generator
+}
+
+// GlobalFire draws from the process-global source: the schedule then
+// depends on whatever else ran first.
+func GlobalFire(rate float64) bool {
+	return rand.Float64() < rate // bad: unseeded global source
+}

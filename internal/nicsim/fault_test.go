@@ -1,0 +1,35 @@
+package nicsim
+
+import (
+	"errors"
+	"testing"
+
+	"utlb/internal/fault"
+)
+
+// An armed SRAM fault point makes reservations fail with the injected
+// sentinel without consuming real SRAM; a nil point costs nothing and
+// never fires.
+func TestReserveSRAMInjectedFault(t *testing.T) {
+	n, _ := newNIC(t)
+	inj := fault.NewInjector(3, fault.Plan{
+		fault.SiteNICSRAM: {Every: 2}, // every second reservation fails
+	})
+	n.SetSRAMFault(inj.Point(fault.SiteNICSRAM))
+
+	if err := n.ReserveSRAM(100); err != nil {
+		t.Fatalf("first reservation: %v", err)
+	}
+	err := n.ReserveSRAM(100)
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("second reservation = %v, want fault.ErrInjected", err)
+	}
+	if got := n.sramUsed; got != 100 {
+		t.Errorf("sramUsed = %d, want 100 (failed reservation must not consume SRAM)", got)
+	}
+
+	n.SetSRAMFault(nil)
+	if err := n.ReserveSRAM(100); err != nil {
+		t.Errorf("reservation after disarming: %v", err)
+	}
+}

@@ -11,12 +11,20 @@
 package nicsim
 
 import (
+	"errors"
 	"fmt"
 
 	"utlb/internal/bus"
+	"utlb/internal/fault"
 	"utlb/internal/obs"
 	"utlb/internal/units"
 )
+
+// ErrNoHandler is returned when the NIC raises its interrupt line with
+// no host handler wired — a fault-reachable condition (a half-built
+// node, injected faults during teardown) that must degrade to an error
+// the firmware can carry, not a crash.
+var ErrNoHandler = errors.New("nicsim: interrupt raised with no handler wired")
 
 // Costs is the NIC-side cost model.
 type Costs struct {
@@ -69,6 +77,10 @@ type NIC struct {
 	sramSize int
 	sramUsed int
 
+	// sramFault, when armed, makes SRAM reservations fail (injected
+	// exhaustion); nil — the default — never fires.
+	sramFault *fault.Point
+
 	intr InterruptHandler
 
 	// Counters for experiments.
@@ -120,6 +132,19 @@ func (n *NIC) ReserveSRAM(nbytes int) error {
 	if nbytes < 0 {
 		panic(fmt.Sprintf("nicsim: negative SRAM reservation %d", nbytes))
 	}
+	if n.sramFault.Fire() {
+		if n.rec != nil {
+			n.rec.Record(obs.Event{
+				Time: n.clock.Now(),
+				Arg:  uint64(nbytes),
+				Xfer: n.xfer.Current(),
+				Node: n.id,
+				Kind: obs.KindFaultSRAM,
+			})
+		}
+		return fmt.Errorf("nicsim: SRAM exhausted: want %d, free %d: %w",
+			nbytes, n.SRAMFree(), fault.ErrInjected)
+	}
 	if n.sramUsed+nbytes > n.sramSize {
 		return fmt.Errorf("nicsim: SRAM exhausted: want %d, free %d", nbytes, n.SRAMFree())
 	}
@@ -138,6 +163,10 @@ func (n *NIC) ReleaseSRAM(nbytes int) {
 // SetInterruptHandler wires the NIC's interrupt line to a host handler.
 func (n *NIC) SetInterruptHandler(h InterruptHandler) { n.intr = h }
 
+// SetSRAMFault arms the injected SRAM-exhaustion fault on ReserveSRAM
+// (fault.SiteNICSRAM). nil — the default — disables injection.
+func (n *NIC) SetSRAMFault(p *fault.Point) { n.sramFault = p }
+
 // SetRecorder attaches r: interrupt assertions are recorded as spans
 // on the NIC clock. nil detaches.
 func (n *NIC) SetRecorder(r obs.Recorder) { n.rec = r }
@@ -155,11 +184,12 @@ func (n *NIC) SetXferCursor(x *obs.XferCursor) { n.xfer = x }
 func (n *NIC) XferCursor() *obs.XferCursor { return n.xfer }
 
 // RaiseInterrupt asserts the interrupt line, charging the NIC-side cost
-// and invoking the host handler. It panics if no handler is wired: an
-// interrupt with no handler wedges a real machine too.
+// and invoking the host handler. With no handler wired it returns
+// ErrNoHandler so fault-injected configurations degrade instead of
+// crashing.
 func (n *NIC) RaiseInterrupt() error {
 	if n.intr == nil {
-		panic("nicsim: interrupt raised with no handler wired")
+		return ErrNoHandler
 	}
 	n.interruptsRaised++
 	if n.rec != nil {

@@ -106,14 +106,11 @@ func TestInterruptLine(t *testing.T) {
 	}
 }
 
-func TestInterruptNoHandlerPanics(t *testing.T) {
+func TestInterruptNoHandlerErrors(t *testing.T) {
 	n, _ := newNIC(t)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	n.RaiseInterrupt()
+	if err := n.RaiseInterrupt(); !errors.Is(err, ErrNoHandler) {
+		t.Errorf("RaiseInterrupt with no handler = %v, want ErrNoHandler", err)
+	}
 }
 
 func TestFetchEntriesReadsHostMemory(t *testing.T) {

@@ -73,6 +73,20 @@ const (
 	KindRecv
 	KindNotify
 
+	// Robustness (PR 5): injected faults and the recovery machinery
+	// they provoke. Faults render on the track of the layer they
+	// strike (no new component: the Chrome tid packs the component
+	// into 3 bits, so the 8 existing tracks are the full budget).
+	KindFaultPin     // host: injected frame exhaustion on a pin
+	KindFaultSRAM    // nic: injected SRAM reservation failure
+	KindFaultFetch   // cache: injected fetch-DMA error (fill dropped)
+	KindFaultDrop    // nic: packet vanished in the switch
+	KindFaultCorrupt // nic: payload byte flipped on the wire
+	KindReclaim      // host: page-reclaimer pass (span)
+	KindPinRetry     // host: pin retried after a reclaim pass
+	KindSendRetry    // vmmc: firmware re-send after link death + remap
+	KindLinkDead     // vmmc: link declared dead, command failed
+
 	numKinds
 )
 
@@ -115,6 +129,15 @@ var kindMetas = [numKinds]kindMeta{
 	KindSend:            {name: "vmmc_send", comp: "vmmc", arg: "bytes"},
 	KindRecv:            {name: "vmmc_recv", comp: "vmmc", arg: "bytes"},
 	KindNotify:          {name: "vmmc_notify", comp: "vmmc", arg: "bytes"},
+	KindFaultPin:        {name: "fault_pin", comp: "host", arg: "vpn"},
+	KindFaultSRAM:       {name: "fault_sram", comp: "nic", arg: "bytes"},
+	KindFaultFetch:      {name: "fault_fetch", comp: "cache", arg: "vpn"},
+	KindFaultDrop:       {name: "fault_drop", comp: "nic", arg: "bytes"},
+	KindFaultCorrupt:    {name: "fault_corrupt", comp: "nic", arg: "bytes"},
+	KindReclaim:         {name: "host_reclaim", comp: "host", span: true, arg: "frames", arg2: "want"},
+	KindPinRetry:        {name: "pin_retry", comp: "host", arg: "attempt"},
+	KindSendRetry:       {name: "send_retry", comp: "vmmc", arg: "attempt"},
+	KindLinkDead:        {name: "link_dead", comp: "vmmc", arg: "bytes"},
 }
 
 // componentIDs gives each component track a small stable integer for

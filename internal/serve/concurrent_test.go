@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Hammer the server from many goroutines mixing cache hits, cache
+// misses, listings, and trace downloads. Run under -race this guards
+// the single-flight mutex around the process-global worker-pool width
+// and the cache bookkeeping.
+func TestServeConcurrentRequests(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+
+	// Same params from every worker: one execution, many cache hits.
+	warm := "/api/analyze?exp=t6&scale=0.02&apps=fft&topk=2"
+	if code, body := get(t, ts, warm); code != http.StatusOK {
+		t.Fatalf("warmup: code %d body %.200q", code, body)
+	}
+
+	paths := []string{
+		warm,
+		"/metrics?exp=t6&scale=0.02&apps=fft",
+		"/metrics?exp=t6&scale=0.02&apps=fft&parallel=2", // distinct slug: a run per width
+		"/metrics",
+		"/api/runs",
+		"/api/runs/table6-s0.02-seed1998-p1-fft/trace",
+		"/",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				path := paths[(w+i)%len(paths)]
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					errs <- err
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// A request that fails mid-flight (unknown app discovered while the
+// experiment is already running) must return an error, poison nothing,
+// and leave the server serving concurrent and subsequent traffic.
+func TestServeMidFlightFailureDoesNotPoisonServer(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+
+	// table4 honours the apps filter (table6 hardcodes its app pair),
+	// so the unknown app is discovered inside the experiment's own
+	// worker fan-out, not at parse time.
+	good := "/api/analyze?exp=t4&scale=0.02&apps=fft&topk=2"
+	bad := "/api/analyze?exp=t4&scale=0.02&apps=nosuchapp"
+
+	var wg sync.WaitGroup
+	codes := make([][]int, 6)
+	for w := range codes {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				path := good
+				if (w+i)%2 == 0 {
+					path = bad
+				}
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				codes[w] = append(codes[w], resp.StatusCode)
+			}
+		}(w)
+	}
+	wg.Wait()
+	sawGood, sawBad := false, false
+	for w := range codes {
+		for i, code := range codes[w] {
+			wantBad := (w+i)%2 == 0
+			sawGood = sawGood || !wantBad
+			sawBad = sawBad || wantBad
+			if wantBad && code != http.StatusInternalServerError {
+				t.Errorf("bad request returned %d, want 500", code)
+			}
+			if !wantBad && code != http.StatusOK {
+				t.Errorf("good request returned %d, want 200", code)
+			}
+		}
+	}
+	if !sawGood || !sawBad {
+		t.Fatal("test did not exercise both outcomes")
+	}
+
+	// The failed runs must not be cached as results.
+	if code, body := get(t, ts, "/api/runs"); code != http.StatusOK ||
+		strings.Contains(body, "nosuchapp") {
+		t.Errorf("failed run leaked into the cache: %.200s", body)
+	}
+}

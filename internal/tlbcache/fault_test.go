@@ -1,0 +1,37 @@
+package tlbcache
+
+import (
+	"testing"
+
+	"utlb/internal/fault"
+)
+
+// An injected fetch-DMA failure drops the fill: the entry never lands,
+// the drop is counted, and the cache keeps serving.
+func TestInsertDroppedByInjectedFill(t *testing.T) {
+	c := New(Config{Entries: 16, Ways: 1})
+	inj := fault.NewInjector(3, fault.Plan{
+		fault.SiteCacheFill: {Every: 2}, // every second fill fails
+	})
+	c.SetFillFault(inj.Point(fault.SiteCacheFill))
+
+	k1, k2 := Key{PID: 1, VPN: 0x10}, Key{PID: 1, VPN: 0x11}
+	c.Insert(k1, 7)
+	c.Insert(k2, 8) // dropped
+
+	if r := c.Lookup(k1); !r.Hit || r.PFN != 7 {
+		t.Errorf("Lookup(k1) = %+v, want hit", r)
+	}
+	if r := c.Lookup(k2); r.Hit {
+		t.Error("dropped fill landed in the cache")
+	}
+	if c.DroppedFills() != 1 {
+		t.Errorf("DroppedFills = %d, want 1", c.DroppedFills())
+	}
+
+	// Retried fill (check 3) lands: transient fault, permanent recovery.
+	c.Insert(k2, 8)
+	if r := c.Lookup(k2); !r.Hit || r.PFN != 8 {
+		t.Errorf("Lookup(k2) after retry = %+v, want hit", r)
+	}
+}

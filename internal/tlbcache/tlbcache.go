@@ -13,6 +13,7 @@ package tlbcache
 import (
 	"fmt"
 
+	"utlb/internal/fault"
 	"utlb/internal/obs"
 	"utlb/internal/units"
 )
@@ -91,6 +92,12 @@ type Cache struct {
 	recTime *units.Clock
 	node    units.NodeID
 	xfer    *obs.XferCursor
+
+	// fillFault, when armed, drops Insert calls (a failed fetch DMA);
+	// nil — the default — never fires.
+	fillFault *fault.Point
+	// droppedFills counts fills lost to injected fetch errors.
+	droppedFills int64
 }
 
 // New returns a cache for cfg. It panics on an invalid configuration:
@@ -123,6 +130,15 @@ func (c *Cache) Instrument(r obs.Recorder, clock *units.Clock, node units.NodeID
 // every recorded event (nil — the default — stamps 0). Kept separate
 // from Instrument so existing call sites are untouched.
 func (c *Cache) SetXferCursor(x *obs.XferCursor) { c.xfer = x }
+
+// SetFillFault arms the injected fetch-DMA fault on Insert
+// (fault.SiteCacheFill): a firing check drops the fill, so the page
+// stays uncached and will miss again. Correctness is unaffected — the
+// translator returns the entry it already fetched. nil disables.
+func (c *Cache) SetFillFault(p *fault.Point) { c.fillFault = p }
+
+// DroppedFills counts fills lost to injected fetch errors.
+func (c *Cache) DroppedFills() int64 { return c.droppedFills }
 
 // SRAMBytes reports the cache's NIC SRAM footprint.
 func (c *Cache) SRAMBytes() int { return c.cfg.Entries * EntryBytes }
@@ -204,6 +220,14 @@ func (c *Cache) Peek(k Key) (units.PFN, bool) {
 // returns the evicted key, if any. Inserting an existing key updates
 // it in place.
 func (c *Cache) Insert(k Key, pfn units.PFN) (evicted Key, wasEvicted bool) {
+	if c.fillFault.Fire() {
+		// Injected fetch-DMA failure: the fill never lands.
+		c.droppedFills++
+		if c.rec != nil {
+			c.record(obs.KindFaultFetch, k, 0)
+		}
+		return Key{}, false
+	}
 	set := c.set(k)
 	c.tick++
 	victim := 0

@@ -1,0 +1,194 @@
+package vmmc
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"utlb/internal/core"
+	"utlb/internal/fabric"
+	"utlb/internal/fault"
+	"utlb/internal/units"
+)
+
+// End-to-end tentpole scenario: an injected frame-exhaustion fault on
+// the sender's pin path is absorbed by the host's reclaim-and-retry,
+// and the transfer completes with intact data.
+func TestSendSurvivesInjectedPinFault(t *testing.T) {
+	// The shared pin point sees every pin attempt cluster-wide in
+	// order: the receiver's export pin is check 1, the sender's send
+	// pin is check 2 — where Every:2 fires. Its retry (check 3) pins
+	// clean after a reclaim pass.
+	inj := fault.NewInjector(7, fault.Plan{
+		fault.SiteHostPin: {Every: 2},
+	})
+	c, err := NewCluster(Options{Nodes: 2, Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hog's pages (pid 1, low VPNs) are what the reclaimer takes:
+	// ascending PID then VPN order keeps it away from the sender's
+	// buffer.
+	hog, err := c.Node(0).NewProcess(1, "hog", 0, core.LibConfig{Policy: core.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vpn := units.VPN(4); vpn < 12; vpn++ {
+		if _, err := hog.Node().Host().Process(1).Space().Touch(vpn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sender, err := c.Node(0).NewProcess(2, "sender", 0, core.LibConfig{Policy: core.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver, err := c.Node(1).NewProcess(3, "receiver", 0, core.LibConfig{Policy: core.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buf, err := receiver.Export(0x200000, units.PageSize) // pin check 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := sender.Import(1, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(units.PageSize, 5)
+	if err := sender.Write(0x100000, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.Send(imp, 0, 0x100000, units.PageSize); err != nil { // pin check 2 faults
+		t.Fatalf("send did not survive injected pin fault: %v", err)
+	}
+
+	got, _ := receiver.Read(0x200000, units.PageSize)
+	if !bytes.Equal(got, data) {
+		t.Error("data corrupted across reclaim-retry")
+	}
+	h := c.Node(0).Host()
+	if h.Reclaims() != 1 || h.PinRetries() != 1 {
+		t.Errorf("node 0: Reclaims = %d, PinRetries = %d, want 1 and 1",
+			h.Reclaims(), h.PinRetries())
+	}
+	if got := inj.FiredAt(fault.SiteHostPin); got != 1 {
+		t.Errorf("FiredAt(pin) = %d, want 1", got)
+	}
+}
+
+// An injected SRAM-exhaustion fault at process-creation time must fail
+// that process only — the cluster and its existing processes keep
+// working.
+func TestNewProcessDegradesOnInjectedSRAMFault(t *testing.T) {
+	// The shared SRAM point counts cluster-wide: node 1's cache
+	// reservation is check 1 (node 0's happens before arming), the
+	// first process' command buffer is check 2, and everything after
+	// faults.
+	inj := fault.NewInjector(7, fault.Plan{
+		fault.SiteNICSRAM: {After: 2, Every: 1},
+	})
+	c, err := NewCluster(Options{Nodes: 2, Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Node(0).NewProcess(1, "ok", 0, core.LibConfig{Policy: core.LRU}); err != nil {
+		t.Fatalf("first process: %v", err)
+	}
+	_, err = c.Node(0).NewProcess(2, "starved", 0, core.LibConfig{Policy: core.LRU})
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("second process = %v, want fault.ErrInjected", err)
+	}
+	if c.Node(0).Host().Processes() == 0 {
+		t.Error("surviving process lost")
+	}
+}
+
+// A dead link wedging one process' queued command must not stall the
+// MCP: other processes' commands still execute, and the failure comes
+// back in PollAll's joined error.
+func TestPollAllContinuesPastDeadLink(t *testing.T) {
+	c, err := NewCluster(Options{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed, err := c.Node(0).NewProcess(1, "doomed", 0, core.LibConfig{Policy: core.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lucky, err := c.Node(0).NewProcess(2, "lucky", 0, core.LibConfig{Policy: core.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := c.Node(1).NewProcess(3, "r1", 0, core.LibConfig{Policy: core.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Node(2).NewProcess(4, "r2", 0, core.LibConfig{Policy: core.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf1, _ := r1.Export(0x200000, units.PageSize)
+	buf2, _ := r2.Export(0x200000, units.PageSize)
+	imp1, _ := doomed.Import(1, buf1)
+	imp2, _ := lucky.Import(2, buf2)
+
+	doomed.Write(0x100000, pattern(64, 1))
+	lucky.Write(0x100000, pattern(64, 2))
+	if err := doomed.PostSend(imp1, 0, 0x100000, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := lucky.PostSend(imp2, 0, 0x100000, 64); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both routes to node 1 die after posting, before the MCP runs.
+	c.Network().FailRoute(0, 1, 0)
+	c.Network().FailRoute(0, 1, 1)
+
+	err = c.Node(0).PollAll()
+	if !errors.Is(err, fabric.ErrLinkDead) {
+		t.Fatalf("PollAll = %v, want ErrLinkDead in the chain", err)
+	}
+	if !strings.Contains(err.Error(), "pid 1") {
+		t.Errorf("error does not attribute the failure: %v", err)
+	}
+	if n, _, _ := r2.Received(buf2); n != 64 {
+		t.Errorf("lucky process' transfer blocked by doomed one: received %d bytes", n)
+	}
+	if doomed.Queued() != 0 || lucky.Queued() != 0 {
+		t.Error("rings not drained")
+	}
+}
+
+// The same injector seed must produce the same faults and the same
+// counters — run-to-run determinism at cluster level.
+func TestInjectedFaultsAreDeterministic(t *testing.T) {
+	run := func() (int64, int64, int64) {
+		inj := fault.NewInjector(99, fault.Plan{
+			fault.SiteFabricDrop:    {Rate: 0.2},
+			fault.SiteFabricCorrupt: {Rate: 0.1},
+		})
+		c, sender, receiver := pair(t, Options{Injector: inj})
+		buf, _ := receiver.Export(0x200000, 4*units.PageSize)
+		imp, _ := sender.Import(1, buf)
+		for i := 0; i < 16; i++ {
+			sender.Write(0x100000, pattern(2*units.PageSize, byte(i)))
+			if err := sender.Send(imp, 0, 0x100000, 2*units.PageSize); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = c
+		return inj.Fired(), sender.Node().Retransmits(), int64(sender.Node().NIC().Clock().Now())
+	}
+	f1, r1, t1 := run()
+	f2, r2, t2 := run()
+	if f1 != f2 || r1 != r2 || t1 != t2 {
+		t.Errorf("two identical runs diverged: faults %d/%d, retransmits %d/%d, clock %d/%d",
+			f1, f2, r1, r2, t1, t2)
+	}
+	if f1 == 0 {
+		t.Error("no faults fired at 20% drop over 16 sends — injector not wired")
+	}
+}

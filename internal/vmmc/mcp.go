@@ -2,11 +2,20 @@ package vmmc
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"utlb/internal/obs"
 	"utlb/internal/units"
 )
+
+// ErrBufferUnpinned reports that a posted send's source page lost its
+// pin before the firmware executed the command. VMMC requires senders
+// to keep buffers pinned for the life of the transfer; under a pin
+// quota, later pins can evict a queued send's pages first. The message
+// is lost, nothing else is harmed — callers may treat it like a dead
+// link for that one command.
+var ErrBufferUnpinned = errors.New("vmmc: buffer page unpinned mid-transfer")
 
 // This file is the Myrinet Control Program (MCP): the firmware side of
 // VMMC. It executes posted send/fetch commands — translating each
@@ -63,9 +72,10 @@ func (n *Node) firmwareSend(pid units.ProcID, dst *Imported, offset int, va unit
 		}
 		pfn, info := n.tr.Translate(pid, vpn)
 		if info.Garbage {
-			// The user library pinned the buffer before posting, so a
-			// garbage translation means the invariant broke.
-			return fmt.Errorf("vmmc: send page %#x of pid %d unpinned mid-transfer", vpn, pid)
+			// The user library pinned the buffer before posting; pin
+			// churn (quota eviction) can still unpin it before a queued
+			// command executes.
+			return fmt.Errorf("vmmc: send page %#x of pid %d: %w", vpn, pid, ErrBufferUnpinned)
 		}
 		payload := n.nic.Bus().ReadData(pfn.Addr()+units.PAddr(pageOff), chunk)
 		if err := n.sendReliable(dst.Node, payload, dataTag(dst.Buf, offset+done)); err != nil {

@@ -80,20 +80,43 @@ const RemapCost = 2 * units.Millisecond
 // Remaps reports how many node-remapping procedures this node has run.
 func (n *Node) Remaps() int64 { return n.remaps }
 
+// sendRetryLimit bounds firmware-level delivery attempts after the
+// first: each retry is a full link-layer Send (itself up to
+// RetransmitLimit wire tries) preceded by a remap and an exponential
+// backoff, so a transiently dead route gets several chances before the
+// command fails with ErrLinkDead.
+const sendRetryLimit = 3
+
 // sendReliable carries one packet with link-failure recovery layered
 // over the retransmission protocol: when the link layer declares the
-// route dead, the node invokes the remapping procedure (§4.1) and
-// retries on the surviving route.
+// route dead, the node invokes the remapping procedure (§4.1), backs
+// off exponentially (the mapper's new route must settle), and retries
+// on the surviving route, up to sendRetryLimit times. A final failure
+// returns an error wrapping fabric.ErrLinkDead — the caller degrades,
+// it does not crash.
 func (n *Node) sendReliable(dst units.NodeID, payload []byte, tag uint64) error {
 	err := n.ep.Send(dst, payload, tag)
-	if !errors.Is(err, fabric.ErrLinkDead) {
-		return err
+	for attempt := 1; attempt <= sendRetryLimit && errors.Is(err, fabric.ErrLinkDead); attempt++ {
+		// Route failure: remap, back off, retry.
+		n.nic.Clock().Advance(RemapCost << (attempt - 1))
+		n.remaps++
+		if n.rec != nil {
+			n.recordFirmware(obs.KindSendRetry, 0, attempt)
+		}
+		if !n.cluster.net.Remap(n.id, dst) {
+			if n.rec != nil {
+				n.recordFirmware(obs.KindLinkDead, 0, len(payload))
+			}
+			return fmt.Errorf("vmmc: node %d unreachable, no surviving route: %w", dst, err)
+		}
+		err = n.ep.Send(dst, payload, tag)
 	}
-	// Route failure: run the remapping procedure.
-	n.nic.Clock().Advance(RemapCost)
-	n.remaps++
-	if !n.cluster.net.Remap(n.id, dst) {
-		return fmt.Errorf("vmmc: node %d unreachable, no surviving route: %w", dst, err)
+	if errors.Is(err, fabric.ErrLinkDead) {
+		if n.rec != nil {
+			n.recordFirmware(obs.KindLinkDead, 0, len(payload))
+		}
+		return fmt.Errorf("vmmc: link to node %d dead after %d remap retries: %w",
+			dst, sendRetryLimit, err)
 	}
-	return n.ep.Send(dst, payload, tag)
+	return err
 }

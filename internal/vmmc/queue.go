@@ -76,7 +76,13 @@ func (p *Proc) Queued() int { return len(p.node.cmdq[p.PID()]) }
 // and executes one command from each non-empty ring, charging the
 // doorbell poll per visit. Within one process, commands execute in
 // post order.
+//
+// Failures degrade per command: one process' dead link must not wedge
+// the MCP, so a failed command is dropped (its pages unlocked) and the
+// loop keeps draining the other rings. The joined errors are returned
+// once every ring is empty.
 func (n *Node) PollAll() error {
+	var errs []error
 	for {
 		progress := false
 		for _, pid := range n.queuedPIDs() {
@@ -92,12 +98,12 @@ func (n *Node) PollAll() error {
 			n.xfer.Clear()
 			cmd.proc.lib.Unlock(cmd.va, cmd.nbytes)
 			if err != nil {
-				return fmt.Errorf("vmmc: executing queued send for pid %d: %w", pid, err)
+				errs = append(errs, fmt.Errorf("vmmc: executing queued send for pid %d: %w", pid, err))
 			}
 			progress = true
 		}
 		if !progress {
-			return nil
+			return errors.Join(errs...)
 		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"utlb/internal/bus"
 	"utlb/internal/core"
 	"utlb/internal/fabric"
+	"utlb/internal/fault"
 	"utlb/internal/hostos"
 	"utlb/internal/nicsim"
 	"utlb/internal/obs"
@@ -47,6 +48,13 @@ type Options struct {
 	Prefetch int
 	// Faults injects network loss/corruption.
 	Faults fabric.FaultPlan
+	// Injector, when non-nil, arms the deterministic fault points
+	// (fault.Site*) across every layer of the cluster: host pin
+	// failures, NIC SRAM exhaustion, cache-fill DMA errors, and wire
+	// drop/corruption. One injector serves the whole cluster (cluster
+	// execution is single-goroutine); unplanned sites stay nil and
+	// cost nothing.
+	Injector *fault.Injector
 	// RetransmitTimeout for the reliable link layer (default 50 µs).
 	RetransmitTimeout units.Time
 	// Recorder, when non-nil, receives the event timeline of every node
@@ -99,8 +107,12 @@ func NewCluster(opts Options) (*Cluster, error) {
 		opts: opts,
 		net:  fabric.NewNetwork(fabric.DefaultLinkCosts(), opts.Faults),
 	}
+	c.net.SetFaultPoints(
+		opts.Injector.Point(fault.SiteFabricDrop),
+		opts.Injector.Point(fault.SiteFabricCorrupt))
 	if opts.Recorder != nil {
 		c.xfer = obs.NewXferCursor()
+		c.net.SetRecorder(opts.Recorder)
 	}
 	for i := 0; i < opts.Nodes; i++ {
 		n, err := newNode(c, units.NodeID(i), opts)
@@ -185,12 +197,20 @@ func newNode(c *Cluster, id units.NodeID, opts Options) (*Node, error) {
 	nicClock := units.NewClock()
 	ioBus := bus.New(host.Memory(), nicClock, bus.DefaultCosts())
 	nic := nicsim.New(id, opts.NICSRAMBytes, nicClock, ioBus, nicsim.DefaultCosts())
+	// Arm the per-layer fault points (nil when opts.Injector is nil or
+	// the site is unplanned — the zero-overhead default). The NIC point
+	// is armed after driver construction so the cache's own SRAM
+	// reservation is not fault-prone: losing a node at build time is a
+	// configuration error, not a degradable runtime fault.
+	host.SetPinFault(opts.Injector.Point(fault.SiteHostPin))
 	drv, err := core.NewDriver(host, nic, tlbcache.Config{
 		Entries: opts.CacheEntries, Ways: 1, IndexOffset: !opts.NoIndexOffset,
 	})
 	if err != nil {
 		return nil, err
 	}
+	nic.SetSRAMFault(opts.Injector.Point(fault.SiteNICSRAM))
+	drv.Cache().SetFillFault(opts.Injector.Point(fault.SiteCacheFill))
 	if opts.Recorder != nil {
 		host.SetRecorder(opts.Recorder)
 		host.SetXferCursor(c.xfer)
@@ -234,6 +254,9 @@ func (n *Node) Driver() *core.Driver { return n.drv }
 // PagesSent and PagesReceived report firmware transfer counters.
 func (n *Node) PagesSent() int64     { return n.pagesSent }
 func (n *Node) PagesReceived() int64 { return n.pagesReceived }
+
+// Retransmits reports the node's link-layer retransmission count.
+func (n *Node) Retransmits() int64 { return n.ep.Retransmits() }
 
 // NewProcess spawns a process on the node and registers it with the
 // VMMC system (driver table, UTLB library, command buffer).
