@@ -9,7 +9,7 @@ ARTIFACTS ?= artifacts
 all: check
 
 # The full local gate: what CI runs, in order.
-check: vet lint build race bench obs-smoke chaos
+check: vet lint build race bench obs-smoke chaos bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -33,21 +33,23 @@ race:
 # Short benchmark smoke: one iteration of each tracked benchmark, just
 # to prove they still compile and run. Real numbers: see BENCH_baseline.json.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulateUTLB|BenchmarkSimulateInterrupt|BenchmarkTraceGen$$|BenchmarkRunAll' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulateUTLB|BenchmarkSimulateInterrupt|BenchmarkSimulateBulkBatch|BenchmarkTraceGen$$|BenchmarkRunAll' -benchtime 1x -benchmem .
 	$(GO) test -run '^$$' -bench 'BenchmarkClassifier|BenchmarkSimRun' -benchtime 1x -benchmem ./internal/sim
 
-# Regenerate the machine-readable numbers for BENCH_baseline.json.
+# Regenerate the machine-readable numbers for BENCH_pr6.json.
 bench-json:
 	$(GO) run ./cmd/benchjson
 
-# Bench-regression smoke: record fresh numbers and diff them against
-# the committed baseline. CI runs this warn-only (continue-on-error) —
-# shared runners are too noisy for a hard gate, but the table in the
-# log makes regressions visible at a glance.
+# Bench-regression gate: record fresh numbers and compare them against
+# the committed baseline. Blocking in CI: the ns/op threshold absorbs
+# shared-runner noise, and the SimRun allocation budget is exact —
+# allocs/op is machine-independent, so any increase is a real leak
+# back onto the hot path (BENCH_pr6.json carries the budget in its
+# allocs_gate field).
 bench-compare:
 	mkdir -p $(ARTIFACTS)
 	$(GO) run ./cmd/benchjson > $(ARTIFACTS)/bench-fresh.json
-	$(GO) run ./cmd/benchjson -compare BENCH_pr3.json $(ARTIFACTS)/bench-fresh.json
+	$(GO) run ./cmd/benchjson -compare BENCH_pr6.json $(ARTIFACTS)/bench-fresh.json
 
 # Observability smoke: the exporter golden-file tests (any drift in the
 # Chrome-trace, Prometheus or analysis output fails the diff), then an

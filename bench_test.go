@@ -177,6 +177,53 @@ func BenchmarkSimulateUTLB(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateUTLBScratch is BenchmarkSimulateUTLB with
+// caller-owned scratch (SimulateWith): the steady-state cost of one
+// run when every reusable structure — cache storage, classifier,
+// per-process library state, batch buffers — survives from the last
+// run. The allocs/op of this benchmark is the number benchjson gates.
+func BenchmarkSimulateUTLBScratch(b *testing.B) {
+	tr, err := GenerateTrace("water-spatial", 1, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultSimConfig()
+	cfg.CacheEntries = 1024
+	scr := NewSimScratch()
+	if _, err := SimulateWith(tr, cfg, scr); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateWith(tr, cfg, scr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateBulkBatch runs the multi-page bulk-transfer
+// workload through the batched translation path (8 pages per firmware
+// dispatch). Batching changes simulated NIC time, not host wall-clock:
+// this benchmark tracks that the batch path itself stays allocation-
+// free and comparable in speed to the page-at-a-time loop.
+func BenchmarkSimulateBulkBatch(b *testing.B) {
+	tr := GenerateBulkTrace(0, 1, 1998, 0.25)
+	cfg := DefaultSimConfig()
+	cfg.BatchPages = 8
+	scr := NewSimScratch()
+	if _, err := SimulateWith(tr, cfg, scr); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateWith(tr, cfg, scr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulateUTLBObserved is the recorder-enabled counterpart of
 // BenchmarkSimulateUTLB: the delta between the two is the full cost of
 // event recording (buffer appends; the exporters are not timed).

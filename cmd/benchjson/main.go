@@ -14,8 +14,12 @@
 //
 // -compare prints per-benchmark ns/op and allocs/op deltas between two
 // recorded documents and exits non-zero if any shared benchmark's
-// ns/op regressed by more than the threshold ratio (CI uses this
-// against the committed BENCH_pr3.json).
+// ns/op regressed by more than the threshold ratio, or if a benchmark
+// carrying an allocs_gate in the old document allocates more than that
+// budget in the new one. Wall-clock ratios absorb runner noise through
+// the threshold; the allocation gate is exact — allocs/op is machine-
+// independent, so the budget carries no headroom. CI runs this as a
+// blocking step against the committed BENCH_pr6.json.
 package main
 
 import (
@@ -45,6 +49,11 @@ type entry struct {
 	Note        string  `json:"note,omitempty"`
 	SpeedupVs   string  `json:"speedup_vs,omitempty"`
 	Speedup     float64 `json:"speedup,omitempty"`
+	// AllocsGate, when non-zero, is the exact allocs/op budget for
+	// this benchmark: -compare fails if the fresh run allocates more.
+	// Only set on benchmarks whose allocation count is deterministic
+	// (explicit scratch, no pools), so the budget needs no headroom.
+	AllocsGate int64 `json:"allocs_gate,omitempty"`
 }
 
 func main() {
@@ -80,6 +89,7 @@ type doc struct {
 	GoMaxProcs int     `json:"gomaxprocs"`
 	NumCPU     int     `json:"num_cpu"`
 	Scale      float64 `json:"scale"`
+	Note       string  `json:"note,omitempty"`
 	Benchmarks []entry `json:"benchmarks"`
 }
 
@@ -97,8 +107,9 @@ func readDoc(path string) (*doc, error) {
 
 // runCompare prints per-benchmark deltas between two documents and
 // reports whether any shared benchmark's ns/op regressed past the
-// threshold ratio. Benchmarks present in only one document are listed
-// but never fail the comparison.
+// threshold ratio or blew its recorded allocs_gate budget. Benchmarks
+// present in only one document are listed but never fail the
+// comparison.
 func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (regressed bool, err error) {
 	oldDoc, err := readDoc(oldPath)
 	if err != nil {
@@ -129,6 +140,15 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (regres
 			mark = "  REGRESSED"
 			regressed = true
 		}
+		if oe.AllocsGate > 0 {
+			switch {
+			case ne.AllocsPerOp > oe.AllocsGate:
+				mark += fmt.Sprintf("  ALLOCS-GATE %d > budget %d", ne.AllocsPerOp, oe.AllocsGate)
+				regressed = true
+			case ne.AllocsPerOp < oe.AllocsGate:
+				mark += fmt.Sprintf("  (under budget %d — ratchet the gate down)", oe.AllocsGate)
+			}
+		}
 		fmt.Fprintf(w, "%-28s %14d %14d %7.2fx %6d→%d%s\n",
 			ne.Name, oe.NsPerOp, ne.NsPerOp, ratio, oe.AllocsPerOp, ne.AllocsPerOp, mark)
 	}
@@ -138,7 +158,7 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (regres
 		}
 	}
 	if regressed {
-		fmt.Fprintf(w, "\nFAIL: at least one benchmark regressed past %.2fx\n", threshold)
+		fmt.Fprintf(w, "\nFAIL: a benchmark regressed past %.2fx or blew its allocation budget\n", threshold)
 	}
 	return regressed, nil
 }
@@ -167,10 +187,36 @@ func run(w io.Writer, scale float64) error {
 		return r
 	}
 
-	record("SimRun", "one UTLB trace-driven run, water-spatial @0.1, 1K entries", func(b *testing.B) {
+	// SimRun uses caller-owned scratch (sim.RunWith) rather than the
+	// pool-backed sim.Run so its allocation count is deterministic: the
+	// pool can be drained by GC mid-benchmark, which would make an
+	// exact gate flaky. One warm run populates the scratch before
+	// timing, the same steady state any run after the first sees.
+	scr := sim.NewRunScratch()
+	if _, err := sim.RunWith(simTrace, simCfg, scr); err != nil {
+		return err
+	}
+	simRun := record("SimRun", "one UTLB trace-driven run, water-spatial @0.1, 1K entries, reused scratch", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := sim.Run(simTrace, simCfg); err != nil {
+			if _, err := sim.RunWith(simTrace, simCfg, scr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	entries[len(entries)-1].AllocsGate = simRun.AllocsPerOp()
+
+	bulkTrace := workload.BulkTransfer(0, 1, 1998, 0.25)
+	bulkCfg := sim.DefaultConfig()
+	bulkCfg.BatchPages = 8
+	bulkScr := sim.NewRunScratch()
+	if _, err := sim.RunWith(bulkTrace, bulkCfg, bulkScr); err != nil {
+		return err
+	}
+	record("SimRunBulkBatch8", "bulk-transfer trace @0.25, translation batch width 8, reused scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunWith(bulkTrace, bulkCfg, bulkScr); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -222,9 +268,19 @@ func run(w io.Writer, scale float64) error {
 		entries[len(entries)-2].Speedup = float64(ref.NsPerOp()) / float64(agg.NsPerOp())
 	}
 
+	var note string
+	if runtime.NumCPU() < 2 {
+		note = "recorded on a single-CPU machine: RunAllParallel's wall-clock speedup is capped near 1x regardless of pool width; see EXPERIMENTS.md for multi-core expectations"
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(doc{runtime.GOMAXPROCS(0), runtime.NumCPU(), scale, entries})
+	return enc.Encode(doc{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Scale:      scale,
+		Note:       note,
+		Benchmarks: entries,
+	})
 }
 
 // benchRuns builds one run of random span events across the kind

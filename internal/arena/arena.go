@@ -1,0 +1,98 @@
+// Package arena provides a grow-only slab allocator for hot-path
+// value slices. An Arena hands out sub-slices carved from large slabs,
+// so a burst of related allocations (the per-process record segments
+// of one generated trace, a run's staging buffers) costs one or two
+// heap allocations instead of one per request — and Reset recycles
+// every slab for the next burst without freeing, which is what lets
+// callers that loop (experiment sweeps, benchmark iterations) reach a
+// steady state of zero allocations.
+//
+// Lifetime rules: every slice returned by Alloc is valid until the
+// arena's next Reset, and no longer — a caller that retains records
+// past Reset sees them overwritten by the next burst. Arenas are not
+// safe for concurrent use; give each goroutine its own.
+package arena
+
+import "fmt"
+
+// Arena allocates []T in slabs of a fixed nominal size.
+type Arena[T any] struct {
+	slabSize int
+	slabs    [][]T // uniform slabSize capacity, recycled by Reset
+	active   int   // slab being carved
+	used     int   // elements carved from slabs[active]
+	big      [][]T // oversize dedicated slabs, recycled by size match
+	bigUsed  int   // big slabs handed out since the last Reset
+}
+
+// New returns an arena whose slabs hold slabSize elements each.
+// Requests larger than slabSize get dedicated slabs.
+func New[T any](slabSize int) *Arena[T] {
+	if slabSize < 1 {
+		slabSize = 1
+	}
+	return &Arena[T]{slabSize: slabSize}
+}
+
+// Alloc returns a zeroed slice of n elements carved from the arena.
+// The slice's capacity equals its length, so appending to it never
+// scribbles on a neighbouring allocation.
+func (a *Arena[T]) Alloc(n int) []T {
+	switch {
+	case n < 0:
+		panic(fmt.Sprintf("arena: Alloc(%d)", n))
+	case n == 0:
+		return nil
+	case n > a.slabSize:
+		return a.allocBig(n)
+	}
+	if a.active < len(a.slabs) && a.used+n > a.slabSize {
+		a.active++
+		a.used = 0
+	}
+	if a.active >= len(a.slabs) {
+		a.slabs = append(a.slabs, make([]T, a.slabSize))
+	}
+	s := a.slabs[a.active][a.used : a.used+n : a.used+n]
+	a.used += n
+	clear(s)
+	return s
+}
+
+// allocBig serves an oversize request from the dedicated-slab pool,
+// reusing a recycled slab when one is at least as large (first fit in
+// hand-out order, which keeps repeated same-shape bursts allocation
+// free).
+func (a *Arena[T]) allocBig(n int) []T {
+	for i := a.bigUsed; i < len(a.big); i++ {
+		if cap(a.big[i]) >= n {
+			a.big[i], a.big[a.bigUsed] = a.big[a.bigUsed], a.big[i]
+			s := a.big[a.bigUsed][:n:n]
+			a.bigUsed++
+			clear(s)
+			return s
+		}
+	}
+	s := make([]T, n)
+	// Keep the new slab in the recycled position so the next Reset
+	// offers it again.
+	a.big = append(a.big, nil)
+	copy(a.big[a.bigUsed+1:], a.big[a.bigUsed:])
+	a.big[a.bigUsed] = s
+	a.bigUsed++
+	return s
+}
+
+// Reset recycles every slab: all previously returned slices are dead
+// and their memory will back future Allocs.
+func (a *Arena[T]) Reset() {
+	a.active = 0
+	a.used = 0
+	a.bigUsed = 0
+}
+
+// Slabs reports how many fixed-size slabs the arena holds (tests).
+func (a *Arena[T]) Slabs() int { return len(a.slabs) }
+
+// BigSlabs reports how many oversize dedicated slabs it holds (tests).
+func (a *Arena[T]) BigSlabs() int { return len(a.big) }

@@ -1,0 +1,122 @@
+package arena
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBasics(t *testing.T) {
+	a := New[int](8)
+	s1 := a.Alloc(3)
+	s2 := a.Alloc(5)
+	if len(s1) != 3 || len(s2) != 5 {
+		t.Fatalf("lens %d, %d", len(s1), len(s2))
+	}
+	if a.Slabs() != 1 {
+		t.Fatalf("Slabs = %d, want 1 (both fit one slab)", a.Slabs())
+	}
+	s1[0], s2[0] = 11, 22
+	if s1[0] != 11 || s2[0] != 22 {
+		t.Fatal("allocations alias each other")
+	}
+	// Full capacity slices: append must not scribble on a neighbour.
+	if cap(s1) != len(s1) || cap(s2) != len(s2) {
+		t.Fatalf("caps %d, %d exceed lens", cap(s1), cap(s2))
+	}
+}
+
+func TestAllocZeroAndOversize(t *testing.T) {
+	a := New[byte](4)
+	if s := a.Alloc(0); s != nil {
+		t.Fatalf("Alloc(0) = %v", s)
+	}
+	big := a.Alloc(100)
+	if len(big) != 100 || a.BigSlabs() != 1 {
+		t.Fatalf("len %d, BigSlabs %d", len(big), a.BigSlabs())
+	}
+}
+
+func TestResetRecycles(t *testing.T) {
+	a := New[int](16)
+	for i := 0; i < 5; i++ {
+		a.Alloc(10) // 5 allocs, slab fits one each (10+10 > 16)
+	}
+	slabs, bigs := a.Slabs(), a.BigSlabs()
+	allocs := testing.AllocsPerRun(50, func() {
+		a.Reset()
+		for i := 0; i < 5; i++ {
+			s := a.Alloc(10)
+			if s[0] != 0 || s[9] != 0 {
+				t.Fatal("recycled memory not zeroed")
+			}
+			s[0] = 7
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state AllocsPerRun = %v, want 0", allocs)
+	}
+	if a.Slabs() != slabs || a.BigSlabs() != bigs {
+		t.Fatalf("slab counts changed: %d/%d -> %d/%d", slabs, bigs, a.Slabs(), a.BigSlabs())
+	}
+}
+
+func TestResetRecyclesOversize(t *testing.T) {
+	a := New[int](4)
+	a.Alloc(100)
+	a.Alloc(50)
+	allocs := testing.AllocsPerRun(50, func() {
+		a.Reset()
+		if s := a.Alloc(100); len(s) != 100 || s[0] != 0 {
+			t.Fatal("bad big alloc")
+		}
+		if s := a.Alloc(50); len(s) != 50 {
+			t.Fatal("bad second big alloc")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state big AllocsPerRun = %v, want 0", allocs)
+	}
+}
+
+// Property: any Alloc sequence yields non-overlapping, zeroed slices
+// of the requested lengths.
+func TestAllocNoOverlap(t *testing.T) {
+	f := func(sizes []uint8, slabSize uint8) bool {
+		a := New[int](int(slabSize))
+		var out [][]int
+		total := 0
+		for _, n := range sizes {
+			if total += int(n); total > 1<<16 {
+				break
+			}
+			s := a.Alloc(int(n))
+			if len(s) != int(n) {
+				return false
+			}
+			for _, v := range s {
+				if v != 0 {
+					return false
+				}
+			}
+			out = append(out, s)
+		}
+		// Stamp each slice with its index, then verify no stamp was
+		// overwritten — overlapping allocations would collide.
+		for i, s := range out {
+			for j := range s {
+				s[j] = i + 1
+			}
+		}
+		for i, s := range out {
+			for _, v := range s {
+				if v != i+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

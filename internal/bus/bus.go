@@ -76,6 +76,10 @@ type Bus struct {
 	rec  obs.Recorder
 	node units.NodeID
 	xfer *obs.XferCursor
+
+	// words is ReadWords' reused result buffer (the returned slice is
+	// only valid until the next ReadWords call; see that method).
+	words []uint64
 }
 
 // New returns a bus over mem charging time to clock.
@@ -114,7 +118,9 @@ func (b *Bus) recordDMA(kind obs.Kind, start, cost units.Time, bytes int64) {
 // ReadWords DMAs n consecutive 8-byte words starting at pa from host
 // memory, charging the entry-fetch cost. This is the Shared UTLB-Cache
 // miss path: the NIC reads translation entries out of the host-resident
-// table.
+// table — it runs on every cache miss, so the result lives in a bus-
+// owned buffer that the next ReadWords call overwrites. Callers decode
+// the words before issuing another fetch (the firmware is sequential).
 func (b *Bus) ReadWords(pa units.PAddr, n int) []uint64 {
 	if n < 0 {
 		panic(fmt.Sprintf("bus: negative word count %d", n))
@@ -126,7 +132,10 @@ func (b *Bus) ReadWords(pa units.PAddr, n int) []uint64 {
 	b.clock.Advance(cost)
 	b.reads++
 	b.bytesRead += int64(n) * 8
-	out := make([]uint64, n)
+	if cap(b.words) < n {
+		b.words = make([]uint64, n)
+	}
+	out := b.words[:n]
 	for i := range out {
 		out[i] = b.mem.ReadWord(pa + units.PAddr(i*8))
 	}

@@ -22,6 +22,9 @@ type BitVector struct {
 	words []uint64
 	costs hostos.Costs
 	clock *units.Clock
+	// miss backs Check's result; valid until the next Check. Callers
+	// (Lib.Lookup) consume it before checking again.
+	miss []units.VPN
 }
 
 // NewBitVector returns a pin-status vector covering pages virtual
@@ -39,6 +42,15 @@ func NewBitVector(pages int, costs hostos.Costs, clock *units.Clock) *BitVector 
 
 // Pages reports the vector's coverage in pages.
 func (b *BitVector) Pages() int { return len(b.words) * 64 }
+
+// Reset clears every pin bit and rebinds the cost model and clock,
+// recycling the vector's backing store for a fresh run.
+func (b *BitVector) Reset(costs hostos.Costs, clock *units.Clock) {
+	clear(b.words)
+	b.costs = costs
+	b.clock = clock
+	b.miss = b.miss[:0]
+}
 
 func (b *BitVector) bounds(vpn units.VPN, n int) {
 	if n < 0 || int(vpn)+n > b.Pages() {
@@ -75,6 +87,8 @@ func (b *BitVector) Get(vpn units.VPN) bool {
 // Check is the user-level lookup of Figure 2, step 1: test whether all
 // n pages starting at vpn are pinned. It returns the unpinned pages in
 // ascending order (nil when the check hits) and charges the host clock.
+// The returned slice is owned by the vector and overwritten by the next
+// Check.
 //
 // Cost mechanics: entering the procedure costs UserCallOverhead. When
 // the range starts word-aligned and every touched word is all-ones, the
@@ -114,12 +128,16 @@ func (b *BitVector) Check(vpn units.VPN, n int) []units.VPN {
 	cost += units.Time(n) * b.costs.BitTest
 	b.clock.Advance(cost)
 
-	var missing []units.VPN
+	missing := b.miss[:0]
 	for i := 0; i < n; i++ {
 		p := vpn + units.VPN(i)
 		if !b.Get(p) {
 			missing = append(missing, p)
 		}
+	}
+	b.miss = missing
+	if len(missing) == 0 {
+		return nil
 	}
 	return missing
 }

@@ -30,6 +30,12 @@ type Driver struct {
 // the garbage frame, builds the Shared UTLB-Cache with cacheCfg, and
 // reserves the cache's NIC SRAM.
 func NewDriver(host *hostos.Host, nic *nicsim.NIC, cacheCfg tlbcache.Config) (*Driver, error) {
+	return NewDriverWith(host, nic, cacheCfg, nil)
+}
+
+// NewDriverWith is NewDriver with the cache built over st, recycling
+// one run's cache line arrays into the next (nil allocates fresh).
+func NewDriverWith(host *hostos.Host, nic *nicsim.NIC, cacheCfg tlbcache.Config, st *tlbcache.Storage) (*Driver, error) {
 	if err := cacheCfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -37,7 +43,7 @@ func NewDriver(host *hostos.Host, nic *nicsim.NIC, cacheCfg tlbcache.Config) (*D
 	if err != nil {
 		return nil, fmt.Errorf("core: allocating garbage page: %w", err)
 	}
-	cache := tlbcache.New(cacheCfg)
+	cache := tlbcache.NewWith(cacheCfg, st)
 	if err := nic.ReserveSRAM(cache.SRAMBytes()); err != nil {
 		return nil, fmt.Errorf("core: reserving cache SRAM: %w", err)
 	}

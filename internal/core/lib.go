@@ -31,6 +31,33 @@ type LibConfig struct {
 	// Xfer, when non-nil, stamps recorded events with the current
 	// transfer id (see obs.XferCursor).
 	Xfer *obs.XferCursor
+	// Scratch, when non-nil, recycles one process slot's buffers
+	// across runs (see LibScratch). nil allocates fresh state.
+	Scratch *LibScratch
+}
+
+// LibScratch recycles one process slot's library state across
+// simulation runs: the 128 KB pin-status bit vector — the largest
+// per-process allocation of a run — and the pre-pin expansion buffer.
+// The zero value is ready to use. A scratch belongs to at most one
+// live Lib at a time; sim.RunScratch keeps one per process slot.
+type LibScratch struct {
+	bv  *BitVector
+	pin []units.VPN
+}
+
+// takeBitVector hands out the scratch's bit vector, cleared, building
+// it on first use. A nil scratch always builds fresh.
+func (s *LibScratch) takeBitVector(costs hostos.Costs, clock *units.Clock) *BitVector {
+	if s == nil {
+		return NewBitVector(VASpacePages, costs, clock)
+	}
+	if s.bv == nil {
+		s.bv = NewBitVector(VASpacePages, costs, clock)
+	} else {
+		s.bv.Reset(costs, clock)
+	}
+	return s.bv
 }
 
 // LibStats are the user-level library's cumulative counters, the raw
@@ -64,6 +91,13 @@ type Lib struct {
 	rec    obs.Recorder
 	xfer   *obs.XferCursor
 
+	// pinScratch backs prepinList's result between Lookup calls so the
+	// check-miss path allocates nothing once warm. pinAll only shrinks
+	// the slice; nothing retains it past the Lookup that built it. scr,
+	// when non-nil, keeps the grown buffer across runs.
+	pinScratch []units.VPN
+	scr        *LibScratch
+
 	stats LibStats
 }
 
@@ -76,16 +110,21 @@ func NewLib(drv *Driver, proc *hostos.Process, cfg LibConfig) (*Lib, error) {
 		cfg.Prepin = 1
 	}
 	host := drv.Host()
-	return &Lib{
+	l := &Lib{
 		host:   host,
 		drv:    drv,
 		proc:   proc,
-		bv:     NewBitVector(VASpacePages, host.Costs(), host.Clock()),
+		bv:     cfg.Scratch.takeBitVector(host.Costs(), host.Clock()),
 		policy: NewPolicy(cfg.Policy, cfg.PolicySeed),
 		prepin: cfg.Prepin,
 		rec:    cfg.Recorder,
 		xfer:   cfg.Xfer,
-	}, nil
+		scr:    cfg.Scratch,
+	}
+	if cfg.Scratch != nil {
+		l.pinScratch = cfg.Scratch.pin[:0]
+	}
+	return l, nil
 }
 
 // Proc returns the owning process.
@@ -167,18 +206,34 @@ func (l *Lib) Lookup(va units.VAddr, nbytes int) error {
 // prepinList expands the missing pages by the sequential pre-pinning
 // policy: for each missing page, pin up to prepin contiguous pages
 // starting there, skipping pages already pinned or already scheduled.
+//
+// missing is ascending (BitVector.Check's contract), so "already
+// scheduled" reduces to a high-water mark: every page below the end of
+// the previous expansion was already considered, and a page skipped for
+// being pinned then is still pinned now. That keeps the expansion
+// map-free, and the result lives in pinScratch — zero allocations once
+// the scratch has grown to the process' working width.
 func (l *Lib) prepinList(missing []units.VPN) []units.VPN {
-	scheduled := make(map[units.VPN]bool, len(missing)*l.prepin)
-	var list []units.VPN
+	list := l.pinScratch[:0]
+	next := units.VPN(0) // first page no earlier expansion has considered
 	for _, m := range missing {
-		for i := 0; i < l.prepin; i++ {
-			p := m + units.VPN(i)
-			if p >= VASpacePages || scheduled[p] || l.bv.Get(p) {
+		p := m
+		if p < next {
+			p = next
+		}
+		for ; p < m+units.VPN(l.prepin); p++ {
+			if p >= VASpacePages || l.bv.Get(p) {
 				continue
 			}
-			scheduled[p] = true
 			list = append(list, p)
 		}
+		if end := m + units.VPN(l.prepin); end > next {
+			next = end
+		}
+	}
+	l.pinScratch = list
+	if l.scr != nil {
+		l.scr.pin = list
 	}
 	return list
 }

@@ -93,12 +93,15 @@ type pageMeta struct {
 // basePolicy holds the common bookkeeping; victim selection differs
 // per kind. Selection is a deterministic scan: page footprints are a
 // few thousand entries and eviction happens far less often than Touch,
-// so an O(n) victim scan keeps every policy trivially correct.
+// so an O(n) victim scan keeps every policy trivially correct. The
+// page map holds pageMeta by value — the structs are three words and
+// pointer indirection would cost one heap object per pinned page.
 type basePolicy struct {
 	kind  PolicyKind
-	pages map[units.VPN]*pageMeta
+	pages map[units.VPN]pageMeta
 	tick  int64
 	rng   *rand.Rand
+	cand  []units.VPN // randomVictim's reused candidate buffer
 }
 
 // NewPolicy returns a replacement policy of the given kind. seed drives
@@ -106,7 +109,7 @@ type basePolicy struct {
 func NewPolicy(kind PolicyKind, seed int64) Policy {
 	return &basePolicy{
 		kind:  kind,
-		pages: make(map[units.VPN]*pageMeta),
+		pages: make(map[units.VPN]pageMeta),
 		rng:   rand.New(rand.NewSource(seed)),
 	}
 }
@@ -121,6 +124,7 @@ func (p *basePolicy) Touch(vpn units.VPN) {
 	p.tick++
 	m.seq = p.tick
 	m.freq++
+	p.pages[vpn] = m
 }
 
 func (p *basePolicy) Insert(vpn units.VPN) {
@@ -128,7 +132,7 @@ func (p *basePolicy) Insert(vpn units.VPN) {
 		return
 	}
 	p.tick++
-	p.pages[vpn] = &pageMeta{seq: p.tick, freq: 1}
+	p.pages[vpn] = pageMeta{seq: p.tick, freq: 1}
 }
 
 func (p *basePolicy) Remove(vpn units.VPN) { delete(p.pages, vpn) }
@@ -143,12 +147,14 @@ func (p *basePolicy) Len() int { return len(p.pages) }
 func (p *basePolicy) Lock(vpn units.VPN) {
 	if m, ok := p.pages[vpn]; ok {
 		m.locks++
+		p.pages[vpn] = m
 	}
 }
 
 func (p *basePolicy) Unlock(vpn units.VPN) {
 	if m, ok := p.pages[vpn]; ok && m.locks > 0 {
 		m.locks--
+		p.pages[vpn] = m
 	}
 }
 
@@ -158,21 +164,21 @@ func (p *basePolicy) Victim() (units.VPN, bool) {
 	}
 	var (
 		best   units.VPN
-		bestM  *pageMeta
+		bestM  pageMeta
 		found  bool
-		better func(m, cur *pageMeta) bool
+		better func(m, cur pageMeta) bool
 	)
 	switch p.kind {
 	case LRU:
-		better = func(m, cur *pageMeta) bool { return m.seq < cur.seq }
+		better = func(m, cur pageMeta) bool { return m.seq < cur.seq }
 	case MRU:
-		better = func(m, cur *pageMeta) bool { return m.seq > cur.seq }
+		better = func(m, cur pageMeta) bool { return m.seq > cur.seq }
 	case LFU:
-		better = func(m, cur *pageMeta) bool {
+		better = func(m, cur pageMeta) bool {
 			return m.freq < cur.freq || (m.freq == cur.freq && m.seq < cur.seq)
 		}
 	case MFU:
-		better = func(m, cur *pageMeta) bool {
+		better = func(m, cur pageMeta) bool {
 			return m.freq > cur.freq || (m.freq == cur.freq && m.seq < cur.seq)
 		}
 	default:
@@ -191,17 +197,18 @@ func (p *basePolicy) Victim() (units.VPN, bool) {
 
 // sameOrder reports whether two pages compare equal under the active
 // ordering, in which case the lower VPN wins for determinism.
-func sameOrder(a, b *pageMeta) bool { return a.seq == b.seq && a.freq == b.freq }
+func sameOrder(a, b pageMeta) bool { return a.seq == b.seq && a.freq == b.freq }
 
 func (p *basePolicy) randomVictim() (units.VPN, bool) {
 	// Deterministic under a fixed seed: collect unlocked pages in VPN
 	// order, then pick one uniformly.
-	candidates := make([]units.VPN, 0, len(p.pages))
+	candidates := p.cand[:0]
 	for vpn, m := range p.pages {
 		if m.locks == 0 {
 			candidates = append(candidates, vpn)
 		}
 	}
+	p.cand = candidates
 	if len(candidates) == 0 {
 		return 0, false
 	}

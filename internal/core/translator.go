@@ -66,6 +66,22 @@ func (tr *Translator) SwapIns() int64 { return tr.swapIns }
 // Translate resolves (pid, vpn) to a physical frame, charging all NIC
 // costs. It never fails: unpinned pages resolve to the garbage frame.
 func (tr *Translator) Translate(pid units.ProcID, vpn units.VPN) (units.PFN, TranslateInfo) {
+	return tr.translate(pid, vpn, true)
+}
+
+// TranslateBatch resolves a batch of same-process vpns in one firmware
+// dispatch: the first entry pays the full LookupBase entry cost, every
+// later entry only the per-entry BatchEntry increment; probes,
+// directory references and miss fills are charged per entry as always.
+// Results land in pfns/infos, which must be at least len(vpns) long. A
+// one-entry batch is cost- and event-identical to Translate.
+func (tr *Translator) TranslateBatch(pid units.ProcID, vpns []units.VPN, pfns []units.PFN, infos []TranslateInfo) {
+	for i, vpn := range vpns {
+		pfns[i], infos[i] = tr.translate(pid, vpn, i == 0)
+	}
+}
+
+func (tr *Translator) translate(pid units.ProcID, vpn units.VPN, first bool) (units.PFN, TranslateInfo) {
 	nic := tr.drv.NIC()
 	cache := tr.drv.Cache()
 	tr.lookups++
@@ -79,7 +95,11 @@ func (tr *Translator) Translate(pid units.ProcID, vpn units.VPN) (units.PFN, Tra
 	if rec != nil {
 		probeStart = nic.Clock().Now()
 	}
-	nic.ChargeLookupBase()
+	if first {
+		nic.ChargeLookupBase()
+	} else {
+		nic.ChargeBatchEntry()
+	}
 	key := tlbcache.Key{PID: pid, VPN: vpn}
 	res := cache.Lookup(key)
 	nic.ChargeProbes(res.Probes)

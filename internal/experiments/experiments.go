@@ -143,7 +143,7 @@ var Names = []string{
 	"table1", "table2", "table3", "table4", "table5",
 	"table6", "table7", "table8", "fig7", "fig8",
 	"ablation-policies", "ablation-perprocess", "ablation-multiprog",
-	"svm-pipeline", "chaos",
+	"batchsweep", "svm-pipeline", "chaos",
 }
 
 // aliases maps shorthand experiment names (t6, f7) to canonical ones.
@@ -203,6 +203,8 @@ func Run(name string, opts Options, w io.Writer) error {
 		out, err = AblationPerProcess(opts)
 	case "ablation-multiprog":
 		out, err = AblationMultiprog(opts)
+	case "batchsweep":
+		out, err = BatchSweep(opts)
 	case "svm-pipeline":
 		out, err = SVMPipeline(opts)
 	case "chaos":

@@ -169,6 +169,10 @@ type Host struct {
 	// pinFault, when armed, makes pin attempts fail with injected
 	// frame exhaustion (nil — the default — never fires).
 	pinFault *fault.Point
+	// pinScratch is pinLocked's reused result buffer: every pin ioctl
+	// returns a frame list, and all callers consume it before the next
+	// pin (the slice is only valid that long).
+	pinScratch []units.PFN
 	// Reclaim/retry counters (reclaim.go accessors).
 	reclaims        int64
 	framesReclaimed int64
@@ -278,8 +282,15 @@ func (h *Host) PinPagesInKernel(p *Process, vpns []units.VPN) ([]units.PFN, erro
 // gets before its frame-exhaustion error is returned to the caller.
 const maxPinAttempts = 3
 
+// pinLocked pins vpns in order, rolling everything back on the first
+// failure. The returned slice is h.pinScratch: valid until the next
+// pin call, which every caller respects by consuming it immediately
+// (the driver installs the frames inside the same ioctl).
 func (h *Host) pinLocked(p *Process, vpns []units.VPN) ([]units.PFN, error) {
-	pfns := make([]units.PFN, 0, len(vpns))
+	if cap(h.pinScratch) < len(vpns) {
+		h.pinScratch = make([]units.PFN, 0, len(vpns))
+	}
+	pfns := h.pinScratch[:0]
 	for i, vpn := range vpns {
 		pfn, err := h.pinOne(p, vpn, len(vpns)-i)
 		if err != nil {

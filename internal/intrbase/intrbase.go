@@ -63,10 +63,16 @@ type Mechanism struct {
 // paper does: "we assume that the cache structures are the same for
 // both cases").
 func New(host *hostos.Host, nic *nicsim.NIC, cacheCfg tlbcache.Config) (*Mechanism, error) {
+	return NewWith(host, nic, cacheCfg, nil)
+}
+
+// NewWith is New with the cache built over st, recycling one run's
+// cache line arrays into the next (nil allocates fresh).
+func NewWith(host *hostos.Host, nic *nicsim.NIC, cacheCfg tlbcache.Config, st *tlbcache.Storage) (*Mechanism, error) {
 	if err := cacheCfg.Validate(); err != nil {
 		return nil, err
 	}
-	cache := tlbcache.New(cacheCfg)
+	cache := tlbcache.NewWith(cacheCfg, st)
 	if err := nic.ReserveSRAM(cache.SRAMBytes()); err != nil {
 		return nil, fmt.Errorf("intrbase: reserving cache SRAM: %w", err)
 	}

@@ -1,0 +1,37 @@
+// Package batcher is a lint fixture: event recording on a batched
+// dispatch path. Batching tempts two regressions the rule polices —
+// recording per entry without the nil guard (the disabled path must
+// stay one pointer compare even when amortised over a batch), and
+// labelling batch events with raw kind-name strings.
+package batcher
+
+import "utlb/internal/obs"
+
+// Batcher dispatches translation batches and records one span per
+// dispatch.
+type Batcher struct {
+	rec obs.Recorder
+}
+
+// BadPerEntryRecord records inside the batch loop with no nil check
+// anywhere in the function.
+func (b *Batcher) BadPerEntryRecord(n int) {
+	for i := 0; i < n; i++ {
+		b.rec.Record(obs.Event{Kind: obs.KindCacheHit, Arg: uint64(i)})
+	}
+}
+
+// GoodBatchRecord hoists the guard above the loop: entries of a guarded
+// dispatch may record freely.
+func (b *Batcher) GoodBatchRecord(n int) {
+	if b.rec != nil {
+		for i := 0; i < n; i++ {
+			b.rec.Record(obs.Event{Kind: obs.KindCacheHit, Arg: uint64(i)})
+		}
+	}
+}
+
+// BadBatchKindLiteral tags batch dispatches by kind-name string.
+func BadBatchKindLiteral(name string) bool {
+	return name == "dma_read"
+}

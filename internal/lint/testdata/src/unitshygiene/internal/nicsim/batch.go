@@ -1,0 +1,34 @@
+// Package nicsim is a lint fixture: the batched-dispatch cost model
+// and arena-style slice carving, the code shapes of the batch
+// translation and slab-allocator paths. Cost arithmetic must keep
+// every scale factor units-typed; arena index arithmetic is plain
+// integers and must not fire.
+package nicsim
+
+import "utlb/internal/units"
+
+// DispatchCost charges one batched firmware dispatch: the first entry
+// pays the full lookup cost, the n-1 later entries the per-entry
+// increment.
+func DispatchCost(n int, lookup, entry units.Time) units.Time {
+	total := lookup + units.Time(n-1)*entry // good: count converted before scaling
+	total += entry * 16                     // bad: bare batch width on a units quantity
+	slack := total - 150                    // bad: bare literal in units arithmetic
+	if slack > 0 {
+		total += units.FromMicros(0.15) // good: literal inside a units conversion
+	}
+	return total
+}
+
+// Carve is arena-style slab arithmetic: indices, capacities and counts
+// are plain integers with no units type anywhere, so none of this may
+// trip the rule.
+func Carve(buf []byte, used, n int) ([]byte, int) {
+	end := used + n
+	if end > cap(buf) {
+		grown := make([]byte, 2*cap(buf)+n)
+		copy(grown, buf[:used])
+		buf = grown
+	}
+	return buf[used:end:end], end
+}

@@ -42,6 +42,13 @@ type Costs struct {
 	// CacheInstall is the cost of installing one fetched entry into
 	// the cache after the miss DMA completes.
 	CacheInstall units.Time
+	// BatchEntry is the per-entry cost of continuing a batched
+	// translation dispatch: after the first vpn of a batch pays
+	// LookupBase (argument decode, routine entry), each further vpn
+	// pays only the loop increment — operand fetch from the request
+	// queue and index recompute, with no re-dispatch. Probes, directory
+	// references and fills are still charged per entry.
+	BatchEntry units.Time
 	// DoorbellPoll is the cost of polling one command-post buffer.
 	DoorbellPoll units.Time
 	// RaiseInterrupt is the NIC-side cost of asserting the host
@@ -58,6 +65,7 @@ func DefaultCosts() Costs {
 		CacheProbe:     units.FromMicros(0.10),
 		DirectoryProbe: units.FromMicros(0.30),
 		CacheInstall:   units.FromMicros(0.012),
+		BatchEntry:     units.FromMicros(0.15),
 		DoorbellPoll:   units.FromMicros(0.20),
 		RaiseInterrupt: units.FromMicros(0.50),
 	}
@@ -212,7 +220,9 @@ func (n *NIC) RaiseInterrupt() error {
 func (n *NIC) InterruptsRaised() int64 { return n.interruptsRaised }
 
 // FetchEntries DMAs count 8-byte translation entries from host memory
-// at pa, charging the NIC clock (the firmware blocks on its DMA).
+// at pa, charging the NIC clock (the firmware blocks on its DMA). The
+// returned words live in the bus' reused fetch buffer and are only
+// valid until the next fetch — decode them before the next miss.
 func (n *NIC) FetchEntries(pa units.PAddr, count int) []uint64 {
 	n.dmaFetches++
 	return n.bus.ReadWords(pa, count)
@@ -228,6 +238,10 @@ func (n *NIC) ChargeLookupBase() { n.clock.Advance(n.costs.LookupBase) }
 func (n *NIC) ChargeProbes(k int) {
 	n.clock.Advance(units.Time(k) * n.costs.CacheProbe)
 }
+
+// ChargeBatchEntry charges the per-entry continuation cost of a
+// batched translation dispatch (every batch entry after the first).
+func (n *NIC) ChargeBatchEntry() { n.clock.Advance(n.costs.BatchEntry) }
 
 // ChargeDirectoryProbe charges one page-directory SRAM reference.
 func (n *NIC) ChargeDirectoryProbe() { n.clock.Advance(n.costs.DirectoryProbe) }

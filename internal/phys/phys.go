@@ -134,7 +134,12 @@ func (m *Memory) Read(pa units.PAddr, n int) []byte {
 		if c > len(dst) {
 			c = len(dst)
 		}
-		copy(dst[:c], m.backing(f)[off:off+c])
+		// A frame that was never written has no backing yet and reads
+		// as zeros; dst is already zeroed, so only copy materialised
+		// frames (materialising on read would allocate for nothing).
+		if b, ok := m.frames[f]; ok {
+			copy(dst[:c], b[off:off+c])
+		}
 		pa += units.PAddr(c)
 		dst = dst[c:]
 	}
@@ -151,12 +156,37 @@ func (m *Memory) WriteWord(pa units.PAddr, w uint64) {
 	m.Write(pa, buf[:])
 }
 
-// ReadWord loads a 64-bit little-endian word from pa.
+// ReadWord loads a 64-bit little-endian word from pa. This is the
+// NIC's entry-fetch primitive, so it reads straight out of the frame
+// backing without going through Read's fresh-slice contract.
 func (m *Memory) ReadWord(pa units.PAddr) uint64 {
-	b := m.Read(pa, 8)
+	m.checkRange(pa, 8)
+	if off := int(uint64(pa) & units.PageMask); off <= units.PageSize-8 {
+		f := pa.PageOf()
+		if !m.allocated[f] {
+			panic(fmt.Sprintf("phys: read from unallocated frame %d", f))
+		}
+		b, ok := m.frames[f]
+		if !ok {
+			return 0 // never-written frame reads as zeros
+		}
+		var w uint64
+		for i := 0; i < 8; i++ {
+			w |= uint64(b[off+i]) << (8 * i)
+		}
+		return w
+	}
+	// Word straddles a frame boundary: assemble byte by byte.
 	var w uint64
-	for i := range b {
-		w |= uint64(b[i]) << (8 * i)
+	for i := 0; i < 8; i++ {
+		p := pa + units.PAddr(i)
+		f := p.PageOf()
+		if !m.allocated[f] {
+			panic(fmt.Sprintf("phys: read from unallocated frame %d", f))
+		}
+		if b, ok := m.frames[f]; ok {
+			w |= uint64(b[uint64(p)&units.PageMask]) << (8 * i)
+		}
 	}
 	return w
 }

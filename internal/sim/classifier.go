@@ -17,15 +17,16 @@ import (
 // hit or miss, so its LRU state tracks the reference stream exactly.
 //
 // Layout: this sits on the simulator's per-page inner loop, so the
-// bookkeeping is one map lookup and zero per-key heap allocations.
-// Every key ever seen owns one slot in a grow-only slab of
-// index-linked nodes; the slot doubles as the "seen" record (slots are
-// never reclaimed, only unlinked from the LRU list on eviction), which
-// replaces the old design's second map, per-key node allocation, and
-// eviction-time map delete.
+// bookkeeping is one dense-table probe and zero per-key heap
+// allocations. Every key ever seen owns one slot in a grow-only slab
+// of index-linked nodes; the slot doubles as the "seen" record (slots
+// are never reclaimed, only unlinked from the LRU list on eviction).
+// The key→slot index is a tlbcache.Dense open-addressing table rather
+// than a Go map: the probe stays in two or three contiguous arrays,
+// and reset() recycles both the table and the slab across runs.
 type classifier struct {
 	capacity int
-	slots    map[tlbcache.Key]int32
+	slots    *tlbcache.Dense
 	nodes    []clsNode
 	head     int32 // most recent, nilSlot when empty
 	tail     int32 // least recent
@@ -41,13 +42,26 @@ type clsNode struct {
 const nilSlot = int32(-1)
 
 func newClassifier(capacity int) *classifier {
-	return &classifier{
-		capacity: capacity,
-		slots:    make(map[tlbcache.Key]int32, capacity),
-		nodes:    make([]clsNode, 0, capacity),
-		head:     nilSlot,
-		tail:     nilSlot,
+	c := &classifier{}
+	c.reset(capacity)
+	return c
+}
+
+// reset readies the classifier for a fresh run over the same backing
+// arrays; capacity may differ between runs.
+func (c *classifier) reset(capacity int) {
+	c.capacity = capacity
+	if c.slots == nil {
+		c.slots = tlbcache.NewDense(capacity)
+	} else {
+		c.slots.Reset()
 	}
+	if cap(c.nodes) < capacity {
+		c.nodes = make([]clsNode, 0, capacity)
+	} else {
+		c.nodes = c.nodes[:0]
+	}
+	c.head, c.tail, c.size = nilSlot, nilSlot, 0
 }
 
 // missClass is the 3C attribution of one miss.
@@ -85,7 +99,7 @@ func (c *classifier) classify(res *Result, pid units.ProcID, vpn units.VPN, miss
 // touch references key in the shadow cache, reporting whether this is
 // the key's first-ever reference and whether the shadow cache hit.
 func (c *classifier) touch(key tlbcache.Key) (first, shadowHit bool) {
-	slot, seen := c.slots[key]
+	slot, seen := c.slots.Get(key)
 	if seen && c.nodes[slot].resident {
 		c.moveToFront(slot)
 		return false, true
@@ -93,7 +107,7 @@ func (c *classifier) touch(key tlbcache.Key) (first, shadowHit bool) {
 	if !seen {
 		slot = int32(len(c.nodes))
 		c.nodes = append(c.nodes, clsNode{key: key})
-		c.slots[key] = slot
+		c.slots.Put(key, slot)
 	}
 	c.nodes[slot].resident = true
 	c.pushFront(slot)

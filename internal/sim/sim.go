@@ -10,6 +10,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"utlb/internal/bus"
 	"utlb/internal/core"
@@ -54,6 +55,12 @@ type Config struct {
 	Prefetch int
 	// Prepin is the UTLB sequential pre-pinning width (1 = none).
 	Prepin int
+	// BatchPages is how many pages of one operation the firmware
+	// translates per dispatch (UTLB only): the first page of a batch
+	// pays the full lookup entry cost, later pages only the per-entry
+	// increment (nicsim.Costs.BatchEntry). 1 — the paper's model —
+	// dispatches every page separately.
+	BatchPages int
 	// Policy is the user-level replacement policy (UTLB only; the
 	// baseline always uses LRU, as in the paper).
 	Policy core.PolicyKind
@@ -82,6 +89,7 @@ func DefaultConfig() Config {
 		IndexOffset:  true,
 		Prefetch:     1,
 		Prepin:       1,
+		BatchPages:   1,
 		Policy:       core.LRU,
 	}
 }
@@ -103,6 +111,9 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.Prepin < 1 {
 		return fmt.Errorf("sim: pre-pin width %d < 1 (1 = no pre-pinning)", cfg.Prepin)
+	}
+	if cfg.BatchPages < 1 {
+		return fmt.Errorf("sim: batch width %d < 1 (1 = no batching)", cfg.BatchPages)
 	}
 	if cfg.PinLimitPages < 0 {
 		return fmt.Errorf("sim: negative pin limit %d", cfg.PinLimitPages)
@@ -200,11 +211,97 @@ func rate(n, total int64) float64 {
 	return float64(n) / float64(total)
 }
 
+// RunScratch recycles one run's working state into the next: the
+// cache line arrays, the 3C classifier's dense table and node slab,
+// each process slot's pin bit vector and pre-pin buffer, and the batch
+// staging buffers. Together these are the bulk of a run's setup
+// allocations. The zero value (or NewRunScratch) is ready to use; a
+// scratch serves one run at a time, and results never depend on what a
+// previous run left behind — every structure is cleared on reuse.
+type RunScratch struct {
+	cacheStorage *tlbcache.Storage
+	cls          *classifier
+	libs         []*core.LibScratch
+	vpns         []units.VPN
+	pfns         []units.PFN
+	infos        []core.TranslateInfo
+}
+
+// NewRunScratch returns an empty scratch; its buffers grow on first
+// use and persist across runs.
+func NewRunScratch() *RunScratch { return &RunScratch{} }
+
+// storage hands out the cache line storage (nil-safe: a nil scratch
+// allocates per run).
+func (s *RunScratch) storage() *tlbcache.Storage {
+	if s == nil {
+		return nil
+	}
+	if s.cacheStorage == nil {
+		s.cacheStorage = tlbcache.NewStorage(0)
+	}
+	return s.cacheStorage
+}
+
+// classifier hands out the 3C classifier, reset for capacity.
+func (s *RunScratch) classifier(capacity int) *classifier {
+	if s == nil {
+		return newClassifier(capacity)
+	}
+	if s.cls == nil {
+		s.cls = newClassifier(capacity)
+	} else {
+		s.cls.reset(capacity)
+	}
+	return s.cls
+}
+
+// libScratch hands out process slot i's library scratch.
+func (s *RunScratch) libScratch(i int) *core.LibScratch {
+	if s == nil {
+		return nil
+	}
+	for len(s.libs) <= i {
+		s.libs = append(s.libs, &core.LibScratch{})
+	}
+	return s.libs[i]
+}
+
+// batchBufs hands out the translation staging buffers, at least b long.
+func (s *RunScratch) batchBufs(b int) ([]units.VPN, []units.PFN, []core.TranslateInfo) {
+	if s == nil {
+		return make([]units.VPN, b), make([]units.PFN, b), make([]core.TranslateInfo, b)
+	}
+	if cap(s.vpns) < b {
+		s.vpns = make([]units.VPN, b)
+		s.pfns = make([]units.PFN, b)
+		s.infos = make([]core.TranslateInfo, b)
+	}
+	return s.vpns[:b], s.pfns[:b], s.infos[:b]
+}
+
+// scratchPool recycles RunScratch values across Run calls and across
+// the worker goroutines of parallel experiment sweeps: each worker
+// checks out its own scratch for the duration of a run, so reuse never
+// shares state between concurrent runs. Scratch contents never affect
+// results, so pooling cannot perturb determinism.
+var scratchPool = sync.Pool{New: func() any { return NewRunScratch() }}
+
 // Run drives tr through the configured mechanism and returns the
 // measured statistics. The trace is processed in timestamp order; all
 // processes run on one simulated node (the paper reports per-node
-// averages, and nodes are homogeneous).
+// averages, and nodes are homogeneous). Working state is drawn from an
+// internal scratch pool; callers that need a deterministic allocation
+// profile (benchmarks) can hold their own scratch and call RunWith.
 func Run(tr trace.Trace, cfg Config) (Result, error) {
+	scr := scratchPool.Get().(*RunScratch)
+	defer scratchPool.Put(scr)
+	return RunWith(tr, cfg, scr)
+}
+
+// RunWith is Run over an explicit scratch (nil allocates everything
+// fresh, the pre-scratch behaviour).
+func RunWith(tr trace.Trace, cfg Config, scr *RunScratch) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{Config: cfg}, err
 	}
@@ -246,7 +343,7 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 		nic.SetXferCursor(xc)
 	}
 
-	cls := newClassifier(cfg.CacheEntries)
+	cls := scr.classifier(cfg.CacheEntries)
 	res := Result{Config: cfg}
 
 	// classifyObs attributes a reference in res and, when recording,
@@ -282,7 +379,7 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 
 	switch cfg.Mechanism {
 	case UTLB:
-		drv, err := core.NewDriver(host, nic, cacheCfg)
+		drv, err := core.NewDriverWith(host, nic, cacheCfg, scr.storage())
 		if err != nil {
 			return res, err
 		}
@@ -292,20 +389,22 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 		}
 		translator := core.NewTranslator(drv, cfg.Prefetch)
 		libs := make(map[units.ProcID]*core.Lib)
-		for _, pid := range sorted.PIDs() {
+		for i, pid := range sorted.PIDs() {
 			proc, err := spawn(pid)
 			if err != nil {
 				return res, err
 			}
 			lib, err := core.NewLib(drv, proc, core.LibConfig{
 				Policy: cfg.Policy, PolicySeed: cfg.Seed, Prepin: cfg.Prepin,
-				Recorder: recorder, Xfer: xc,
+				Recorder: recorder, Xfer: xc, Scratch: scr.libScratch(i),
 			})
 			if err != nil {
 				return res, err
 			}
 			libs[pid] = lib
 		}
+		batch := cfg.BatchPages
+		vpns, pfns, infos := scr.batchBufs(batch)
 		for _, rec := range sorted {
 			xc.Begin()
 			lib := libs[rec.PID]
@@ -315,10 +414,21 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 			pages := units.PagesSpanned(rec.VA, int(rec.Bytes))
 			first := rec.VA.PageOf()
 			res.NIRefs += int64(pages)
-			for i := 0; i < pages; i++ {
-				vpn := first + units.VPN(i)
-				_, info := translator.Translate(rec.PID, vpn)
-				classifyObs(rec.PID, vpn, !info.Hit)
+			// One firmware dispatch per batch of up to BatchPages pages;
+			// with batch == 1 this is page-at-a-time dispatch, charge-
+			// and event-identical to the unbatched model.
+			for start := 0; start < pages; start += batch {
+				n := pages - start
+				if n > batch {
+					n = batch
+				}
+				for i := 0; i < n; i++ {
+					vpns[i] = first + units.VPN(start+i)
+				}
+				translator.TranslateBatch(rec.PID, vpns[:n], pfns[:n], infos[:n])
+				for i := 0; i < n; i++ {
+					classifyObs(rec.PID, vpns[i], !infos[i].Hit)
+				}
 			}
 		}
 		for _, lib := range libs {
@@ -334,7 +444,7 @@ func Run(tr trace.Trace, cfg Config) (Result, error) {
 		res.NIMisses = translator.Misses()
 
 	case Interrupt:
-		mech, err := intrbase.New(host, nic, cacheCfg)
+		mech, err := intrbase.NewWith(host, nic, cacheCfg, scr.storage())
 		if err != nil {
 			return res, err
 		}

@@ -1,0 +1,160 @@
+package tlbcache
+
+// Dense is an open-addressing hash table on the (pid, vpn) translation
+// Key, the dense_hash_map idiom hot translation paths reach for instead
+// of a Go map: power-of-two capacity, linear probing, and tombstone-free
+// deletion by backward shift, so probe chains never accumulate dead
+// slots and a Get touches a handful of contiguous cache lines.
+//
+// Values are int32 slot indices — the shape the simulator's 3C
+// classifier and other index-linked slab structures need. The zero Key
+// is a legal key; occupancy is tracked in a separate byte array rather
+// than by reserving a sentinel.
+//
+// Dense is not safe for concurrent use; give each goroutine its own
+// (sim.RunScratch holds one per worker).
+type Dense struct {
+	keys []Key
+	vals []int32
+	live []bool
+	n    int
+	mask uint64
+}
+
+// denseMinCap is the smallest table allocated; small hints still get a
+// table that won't grow for a while.
+const denseMinCap = 64
+
+// NewDense returns a table pre-sized to hold about hint entries
+// without growing.
+func NewDense(hint int) *Dense {
+	capacity := denseMinCap
+	for capacity < hint*2 {
+		capacity *= 2
+	}
+	d := &Dense{}
+	d.alloc(capacity)
+	return d
+}
+
+func (d *Dense) alloc(capacity int) {
+	d.keys = make([]Key, capacity)
+	d.vals = make([]int32, capacity)
+	d.live = make([]bool, capacity)
+	d.mask = uint64(capacity - 1)
+	d.n = 0
+}
+
+// Len reports the number of resident entries.
+func (d *Dense) Len() int { return d.n }
+
+// Cap reports the current slot-array capacity (tests).
+func (d *Dense) Cap() int { return len(d.keys) }
+
+// Reset empties the table, keeping its capacity for reuse.
+func (d *Dense) Reset() {
+	if d.n == 0 {
+		return
+	}
+	clear(d.live)
+	d.n = 0
+}
+
+// home is the key's preferred slot: a multiplicative hash mixing the
+// process and page halves so consecutive VPNs of one process and the
+// same VPN across processes both spread.
+func (d *Dense) home(k Key) uint64 {
+	h := uint64(k.VPN)*0x9E3779B97F4A7C15 + uint64(k.PID)*0xC2B2AE3D27D4EB4F
+	return (h ^ (h >> 29)) & d.mask
+}
+
+// find returns the slot holding k and whether it is present; when
+// absent, the returned slot is where an insert would land.
+func (d *Dense) find(k Key) (uint64, bool) {
+	i := d.home(k)
+	for d.live[i] {
+		if d.keys[i] == k {
+			return i, true
+		}
+		i = (i + 1) & d.mask
+	}
+	return i, false
+}
+
+// Get looks k up.
+func (d *Dense) Get(k Key) (int32, bool) {
+	i, ok := d.find(k)
+	if !ok {
+		return 0, false
+	}
+	return d.vals[i], true
+}
+
+// Put installs or updates k → v.
+func (d *Dense) Put(k Key, v int32) {
+	if i, ok := d.find(k); ok {
+		d.vals[i] = v
+		return
+	}
+	// Grow at 3/4 load so probe chains stay short; re-find after the
+	// rehash moved everyone.
+	if 4*(d.n+1) > 3*len(d.keys) {
+		d.grow()
+	}
+	i, _ := d.find(k)
+	d.keys[i] = k
+	d.vals[i] = v
+	d.live[i] = true
+	d.n++
+}
+
+func (d *Dense) grow() {
+	oldKeys, oldVals, oldLive := d.keys, d.vals, d.live
+	d.alloc(2 * len(oldKeys))
+	for i, lv := range oldLive {
+		if !lv {
+			continue
+		}
+		j, _ := d.find(oldKeys[i])
+		d.keys[j] = oldKeys[i]
+		d.vals[j] = oldVals[i]
+		d.live[j] = true
+		d.n++
+	}
+}
+
+// Delete removes k, reporting whether it was present. The following
+// probe chain is shifted back over the hole (no tombstones): each
+// subsequent live slot moves into the hole if its home position does
+// not lie cyclically between the hole and the slot — the classic
+// open-addressing backshift invariant.
+func (d *Dense) Delete(k Key) bool {
+	hole, ok := d.find(k)
+	if !ok {
+		return false
+	}
+	d.n--
+	j := hole
+	for {
+		d.keys[hole] = Key{}
+		d.vals[hole] = 0
+		d.live[hole] = false
+		for {
+			j = (j + 1) & d.mask
+			if !d.live[j] {
+				return true
+			}
+			h := d.home(d.keys[j])
+			// Movable iff home h is not in the cyclic interval
+			// (hole, j]: the shifted entry must still be reachable
+			// from its home by linear probing.
+			if (j-h)&d.mask >= (j-hole)&d.mask {
+				break
+			}
+		}
+		d.keys[hole] = d.keys[j]
+		d.vals[hole] = d.vals[j]
+		d.live[hole] = true
+		hole = j
+	}
+}

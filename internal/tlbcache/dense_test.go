@@ -1,0 +1,176 @@
+package tlbcache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"utlb/internal/units"
+)
+
+// applyDenseOps drives a Dense and a shadow map through the same
+// encoded operation stream and reports the first divergence. Each op
+// byte selects insert/delete/lookup on a key drawn from a small space
+// so collisions, updates and backshift chains all occur.
+func applyDenseOps(t *testing.T, ops []byte) {
+	t.Helper()
+	d := NewDense(0)
+	shadow := map[Key]int32{}
+	for i, op := range ops {
+		k := Key{PID: units.ProcID(op % 5), VPN: units.VPN((op >> 3) % 24)}
+		switch op % 3 {
+		case 0: // put
+			d.Put(k, int32(i))
+			shadow[k] = int32(i)
+		case 1: // delete
+			_, had := shadow[k]
+			if got := d.Delete(k); got != had {
+				t.Fatalf("op %d: Delete(%v) = %v, shadow had %v", i, k, got, had)
+			}
+			delete(shadow, k)
+		case 2: // get
+			v, ok := d.Get(k)
+			want, had := shadow[k]
+			if ok != had || (ok && v != want) {
+				t.Fatalf("op %d: Get(%v) = (%d,%v), shadow (%d,%v)", i, k, v, ok, want, had)
+			}
+		}
+		if d.Len() != len(shadow) {
+			t.Fatalf("op %d: Len = %d, shadow %d", i, d.Len(), len(shadow))
+		}
+	}
+	// Final sweep: every shadow key resident with the right value, and
+	// a probe of the whole key space finds nothing extra.
+	for k, want := range shadow {
+		if v, ok := d.Get(k); !ok || v != want {
+			t.Fatalf("final: Get(%v) = (%d,%v), want (%d,true)", k, v, ok, want)
+		}
+	}
+	for pid := units.ProcID(0); pid < 5; pid++ {
+		for vpn := units.VPN(0); vpn < 24; vpn++ {
+			k := Key{PID: pid, VPN: vpn}
+			if _, ok := d.Get(k); ok != (func() bool { _, h := shadow[k]; return h })() {
+				t.Fatalf("final: presence of %v diverged", k)
+			}
+		}
+	}
+}
+
+func TestDenseAgainstShadowMap(t *testing.T) {
+	f := func(ops []byte) bool {
+		// Reuse the fatal-on-divergence driver; quick.Check only needs
+		// the bool, so run it under a subtest that can fail.
+		ok := true
+		t.Run("seq", func(st *testing.T) {
+			defer func() {
+				if st.Failed() {
+					ok = false
+				}
+			}()
+			applyDenseOps(st, ops)
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func FuzzDenseVsShadow(f *testing.F) {
+	f.Add([]byte{0, 3, 6, 1, 4, 2})
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 2, 2, 2})
+	// A long all-insert run forces several grow() rehashes.
+	long := make([]byte, 600)
+	for i := range long {
+		long[i] = byte(i * 3)
+	}
+	f.Add(long)
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		applyDenseOps(t, ops)
+	})
+}
+
+// Backshift deletion must leave no unreachable keys even when a whole
+// cluster hashes to one home slot and the middle is deleted.
+func TestDenseBackshiftCluster(t *testing.T) {
+	d := NewDense(0)
+	keys := make([]Key, 0, 40)
+	for v := units.VPN(0); v < 40; v++ {
+		k := Key{PID: 7, VPN: v}
+		keys = append(keys, k)
+		d.Put(k, int32(v))
+	}
+	// Delete every third key, then verify the rest are all reachable.
+	for i := 0; i < len(keys); i += 3 {
+		if !d.Delete(keys[i]) {
+			t.Fatalf("Delete(%v) missed", keys[i])
+		}
+	}
+	for i, k := range keys {
+		v, ok := d.Get(k)
+		if i%3 == 0 {
+			if ok {
+				t.Fatalf("deleted key %v still present", k)
+			}
+			continue
+		}
+		if !ok || v != int32(i) {
+			t.Fatalf("Get(%v) = (%d,%v), want (%d,true)", k, v, ok, i)
+		}
+	}
+}
+
+func TestDenseResetKeepsCapacity(t *testing.T) {
+	d := NewDense(1000)
+	cap0 := d.Cap()
+	for v := units.VPN(0); v < 500; v++ {
+		d.Put(Key{PID: 1, VPN: v}, int32(v))
+	}
+	d.Reset()
+	if d.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", d.Len())
+	}
+	if d.Cap() != cap0 {
+		t.Fatalf("Reset changed capacity %d -> %d", cap0, d.Cap())
+	}
+	if _, ok := d.Get(Key{PID: 1, VPN: 3}); ok {
+		t.Fatal("entry survived Reset")
+	}
+	// Table is fully usable after Reset.
+	d.Put(Key{PID: 2, VPN: 9}, 42)
+	if v, ok := d.Get(Key{PID: 2, VPN: 9}); !ok || v != 42 {
+		t.Fatalf("Get after Reset = (%d,%v)", v, ok)
+	}
+}
+
+func TestDenseZeroKeyIsOrdinary(t *testing.T) {
+	d := NewDense(0)
+	if _, ok := d.Get(Key{}); ok {
+		t.Fatal("zero key present in empty table")
+	}
+	d.Put(Key{}, 5)
+	if v, ok := d.Get(Key{}); !ok || v != 5 {
+		t.Fatalf("zero key = (%d,%v)", v, ok)
+	}
+	if !d.Delete(Key{}) {
+		t.Fatal("zero key not deletable")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func BenchmarkDenseGetHit(b *testing.B) {
+	d := NewDense(4096)
+	for v := units.VPN(0); v < 4096; v++ {
+		d.Put(Key{PID: units.ProcID(v % 8), VPN: v}, int32(v))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// 8 divides 4096, so this key is always one of the inserted ones.
+		k := Key{PID: units.ProcID(i % 8), VPN: units.VPN(i % 4096)}
+		if _, ok := d.Get(k); !ok {
+			b.Fatal("unexpected miss")
+		}
+	}
+}

@@ -12,6 +12,7 @@ package tlbcache
 
 import (
 	"fmt"
+	"sort"
 
 	"utlb/internal/fault"
 	"utlb/internal/obs"
@@ -57,11 +58,51 @@ func (c Config) Validate() error {
 // (Figure 3/4 line format).
 const EntryBytes = 4
 
-type line struct {
-	valid bool
-	key   Key
-	pfn   units.PFN
-	used  int64 // LRU stamp
+// Storage is a cache's line arrays in struct-of-arrays layout: the
+// probe loop touches only valid+keys (one cache line of tags per set
+// on real hardware), and the whole block is reusable across simulation
+// runs — sim.RunScratch hands the same Storage to every run it hosts,
+// so steady-state cache construction allocates nothing.
+type Storage struct {
+	valid []bool
+	keys  []Key
+	pfns  []units.PFN
+	used  []int64 // LRU stamps
+}
+
+// NewStorage returns storage for entries cache lines.
+func NewStorage(entries int) *Storage {
+	s := &Storage{}
+	s.ensure(entries)
+	return s
+}
+
+// ensure sizes the arrays for entries lines and clears them, reusing
+// capacity when the geometry allows.
+func (s *Storage) ensure(entries int) {
+	if cap(s.valid) >= entries {
+		s.valid = s.valid[:entries]
+		s.keys = s.keys[:entries]
+		s.pfns = s.pfns[:entries]
+		s.used = s.used[:entries]
+		clear(s.valid)
+		clear(s.keys)
+		clear(s.pfns)
+		clear(s.used)
+		return
+	}
+	s.valid = make([]bool, entries)
+	s.keys = make([]Key, entries)
+	s.pfns = make([]units.PFN, entries)
+	s.used = make([]int64, entries)
+}
+
+// clearLine empties line j.
+func (s *Storage) clearLine(j int) {
+	s.valid[j] = false
+	s.keys[j] = Key{}
+	s.pfns[j] = 0
+	s.used[j] = 0
 }
 
 // Result describes one lookup: whether it hit, the translation if so,
@@ -77,7 +118,7 @@ type Result struct {
 type Cache struct {
 	cfg     Config
 	numSets int
-	sets    []line // numSets * ways, set-major
+	st      *Storage // numSets * ways lines, set-major
 	tick    int64
 
 	hits   int64
@@ -102,14 +143,25 @@ type Cache struct {
 
 // New returns a cache for cfg. It panics on an invalid configuration:
 // cache geometry is fixed at design time, not a runtime input.
-func New(cfg Config) *Cache {
+func New(cfg Config) *Cache { return NewWith(cfg, nil) }
+
+// NewWith is New reusing st as the line storage (nil allocates fresh).
+// The storage is resized and cleared for cfg's geometry, so a caller
+// can hand the same Storage to run after run and pay the line-array
+// allocation exactly once.
+func NewWith(cfg Config, st *Storage) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
+	}
+	if st == nil {
+		st = NewStorage(cfg.Entries)
+	} else {
+		st.ensure(cfg.Entries)
 	}
 	return &Cache{
 		cfg:     cfg,
 		numSets: cfg.Entries / cfg.Ways,
-		sets:    make([]line, cfg.Entries),
+		st:      st,
 	}
 }
 
@@ -162,32 +214,33 @@ func (c *Cache) setIndex(k Key) int {
 	return int((uint64(k.VPN) + c.offset(k.PID)) & uint64(c.numSets-1))
 }
 
-func (c *Cache) set(k Key) []line {
-	i := c.setIndex(k) * c.cfg.Ways
-	return c.sets[i : i+c.cfg.Ways]
+// setBase returns the index of the first line of k's set.
+func (c *Cache) setBase(k Key) int {
+	return c.setIndex(k) * c.cfg.Ways
 }
 
 // Lookup probes the cache for k. Probes counts the entries examined:
 // on a hit, the position of the matching entry; on a miss, the full
 // set width.
 func (c *Cache) Lookup(k Key) Result {
-	set := c.set(k)
+	base := c.setBase(k)
 	c.tick++
-	for i := range set {
-		if set[i].valid && set[i].key == k {
-			set[i].used = c.tick
+	for i := 0; i < c.cfg.Ways; i++ {
+		j := base + i
+		if c.st.valid[j] && c.st.keys[j] == k {
+			c.st.used[j] = c.tick
 			c.hits++
 			if c.rec != nil {
 				c.record(obs.KindCacheHit, k, uint64(i+1))
 			}
-			return Result{Hit: true, PFN: set[i].pfn, Probes: i + 1}
+			return Result{Hit: true, PFN: c.st.pfns[j], Probes: i + 1}
 		}
 	}
 	c.misses++
 	if c.rec != nil {
-		c.record(obs.KindCacheMiss, k, uint64(len(set)))
+		c.record(obs.KindCacheMiss, k, uint64(c.cfg.Ways))
 	}
-	return Result{Hit: false, PFN: units.NoPFN, Probes: len(set)}
+	return Result{Hit: false, PFN: units.NoPFN, Probes: c.cfg.Ways}
 }
 
 // record emits one cache event; callers nil-check c.rec first so the
@@ -208,9 +261,11 @@ func (c *Cache) record(kind obs.Kind, k Key, arg2 uint64) {
 // Peek reports whether k is cached without touching LRU state or
 // hit/miss counters. Used by tests and by prefetch logic.
 func (c *Cache) Peek(k Key) (units.PFN, bool) {
-	for _, ln := range c.set(k) {
-		if ln.valid && ln.key == k {
-			return ln.pfn, true
+	base := c.setBase(k)
+	for i := 0; i < c.cfg.Ways; i++ {
+		j := base + i
+		if c.st.valid[j] && c.st.keys[j] == k {
+			return c.st.pfns[j], true
 		}
 	}
 	return units.NoPFN, false
@@ -228,29 +283,32 @@ func (c *Cache) Insert(k Key, pfn units.PFN) (evicted Key, wasEvicted bool) {
 		}
 		return Key{}, false
 	}
-	set := c.set(k)
+	base := c.setBase(k)
 	c.tick++
-	victim := 0
-	for i := range set {
-		if set[i].valid && set[i].key == k {
-			set[i].pfn = pfn
-			set[i].used = c.tick
+	victim := base
+	for i := base; i < base+c.cfg.Ways; i++ {
+		if c.st.valid[i] && c.st.keys[i] == k {
+			c.st.pfns[i] = pfn
+			c.st.used[i] = c.tick
 			return Key{}, false
 		}
-		if !set[i].valid {
-			if set[victim].valid {
+		if !c.st.valid[i] {
+			if c.st.valid[victim] {
 				victim = i
 			}
 			continue
 		}
-		if set[victim].valid && set[i].used < set[victim].used {
+		if c.st.valid[victim] && c.st.used[i] < c.st.used[victim] {
 			victim = i
 		}
 	}
-	if set[victim].valid {
-		evicted, wasEvicted = set[victim].key, true
+	if c.st.valid[victim] {
+		evicted, wasEvicted = c.st.keys[victim], true
 	}
-	set[victim] = line{valid: true, key: k, pfn: pfn, used: c.tick}
+	c.st.valid[victim] = true
+	c.st.keys[victim] = k
+	c.st.pfns[victim] = pfn
+	c.st.used[victim] = c.tick
 	if c.rec != nil {
 		if wasEvicted {
 			c.record(obs.KindCacheEvict, evicted, 0)
@@ -264,10 +322,10 @@ func (c *Cache) Insert(k Key, pfn units.PFN) (evicted Key, wasEvicted bool) {
 // was. The device driver calls this when a page is unpinned so the NIC
 // never holds a translation for reclaimable memory.
 func (c *Cache) Invalidate(k Key) bool {
-	set := c.set(k)
-	for i := range set {
-		if set[i].valid && set[i].key == k {
-			set[i] = line{}
+	base := c.setBase(k)
+	for j := base; j < base+c.cfg.Ways; j++ {
+		if c.st.valid[j] && c.st.keys[j] == k {
+			c.st.clearLine(j)
 			if c.rec != nil {
 				c.record(obs.KindCacheInvalidate, k, 1)
 			}
@@ -281,9 +339,9 @@ func (c *Cache) Invalidate(k Key) bool {
 // exit). It returns the number of entries dropped.
 func (c *Cache) InvalidateProcess(pid units.ProcID) int {
 	n := 0
-	for i := range c.sets {
-		if c.sets[i].valid && c.sets[i].key.PID == pid {
-			c.sets[i] = line{}
+	for j := range c.st.valid {
+		if c.st.valid[j] && c.st.keys[j].PID == pid {
+			c.st.clearLine(j)
 			n++
 		}
 	}
@@ -296,30 +354,49 @@ func (c *Cache) InvalidateProcess(pid units.ProcID) int {
 
 // Flush empties the cache.
 func (c *Cache) Flush() {
-	for i := range c.sets {
-		c.sets[i] = line{}
+	for j := range c.st.valid {
+		if c.st.valid[j] {
+			c.st.clearLine(j)
+		}
 	}
 }
 
 // Occupancy reports how many entries are currently valid.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for i := range c.sets {
-		if c.sets[i].valid {
+	for j := range c.st.valid {
+		if c.st.valid[j] {
 			n++
 		}
 	}
 	return n
 }
 
+// ProcOccupancy is one process' share of valid cache entries.
+type ProcOccupancy struct {
+	PID     units.ProcID
+	Entries int
+}
+
 // OccupancyByProcess reports how many valid entries each process
 // holds — the cache-sharing breakdown multiprogramming studies read.
-func (c *Cache) OccupancyByProcess() map[units.ProcID]int {
-	out := make(map[units.ProcID]int)
-	for i := range c.sets {
-		if c.sets[i].valid {
-			out[c.sets[i].key.PID]++
+// The slice is sorted by PID, so the output is deterministic; the
+// only allocation is the returned slice itself (no per-call map).
+func (c *Cache) OccupancyByProcess() []ProcOccupancy {
+	var out []ProcOccupancy
+	for j := range c.st.valid {
+		if !c.st.valid[j] {
+			continue
 		}
+		pid := c.st.keys[j].PID
+		i := sort.Search(len(out), func(i int) bool { return out[i].PID >= pid })
+		if i < len(out) && out[i].PID == pid {
+			out[i].Entries++
+			continue
+		}
+		out = append(out, ProcOccupancy{})
+		copy(out[i+1:], out[i:])
+		out[i] = ProcOccupancy{PID: pid, Entries: 1}
 	}
 	return out
 }

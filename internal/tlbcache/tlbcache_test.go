@@ -212,6 +212,9 @@ func TestSRAMBytes(t *testing.T) {
 // Property: after any operation sequence, Lookup(k) hits iff k was
 // inserted after its last eviction/invalidation — verified against a
 // shadow model tracking the most recent Insert per key and evictions.
+// A Dense table mirrors every shadow mutation, so the open-addressing
+// structure is exercised by the same sequences (full fuzz coverage
+// lives in dense_test.go).
 func TestCacheAgainstShadowModel(t *testing.T) {
 	f := func(ops []uint16, ways8 bool) bool {
 		ways := 1
@@ -220,6 +223,7 @@ func TestCacheAgainstShadowModel(t *testing.T) {
 		}
 		c := New(Config{Entries: 32, Ways: ways, IndexOffset: true})
 		shadow := map[Key]units.PFN{}
+		dense := NewDense(0)
 		for i, op := range ops {
 			k := Key{PID: units.ProcID(op % 3), VPN: units.VPN((op >> 2) % 64)}
 			switch op % 4 {
@@ -227,8 +231,10 @@ func TestCacheAgainstShadowModel(t *testing.T) {
 				pfn := units.PFN(i)
 				evicted, was := c.Insert(k, pfn)
 				shadow[k] = pfn
+				dense.Put(k, int32(i))
 				if was {
 					delete(shadow, evicted)
+					dense.Delete(evicted)
 				}
 			case 2: // lookup: a hit must match the shadow value
 				if r := c.Lookup(k); r.Hit {
@@ -242,6 +248,15 @@ func TestCacheAgainstShadowModel(t *testing.T) {
 			case 3:
 				c.Invalidate(k)
 				delete(shadow, k)
+				dense.Delete(k)
+			}
+		}
+		if dense.Len() != len(shadow) {
+			return false
+		}
+		for k := range shadow {
+			if _, ok := dense.Get(k); !ok {
+				return false
 			}
 		}
 		return c.Occupancy() == len(shadow)
@@ -253,21 +268,53 @@ func TestCacheAgainstShadowModel(t *testing.T) {
 
 func TestOccupancyByProcess(t *testing.T) {
 	c := New(Config{Entries: 64, Ways: 2, IndexOffset: true})
-	for v := units.VPN(0); v < 5; v++ {
-		c.Insert(Key{PID: 1, VPN: v}, 0)
-	}
 	for v := units.VPN(0); v < 3; v++ {
 		c.Insert(Key{PID: 2, VPN: v}, 0)
 	}
+	for v := units.VPN(0); v < 5; v++ {
+		c.Insert(Key{PID: 1, VPN: v}, 0)
+	}
 	by := c.OccupancyByProcess()
-	if by[1] != 5 || by[2] != 3 {
-		t.Errorf("OccupancyByProcess = %v", by)
+	want := []ProcOccupancy{{PID: 1, Entries: 5}, {PID: 2, Entries: 3}}
+	if len(by) != len(want) || by[0] != want[0] || by[1] != want[1] {
+		t.Errorf("OccupancyByProcess = %v, want %v", by, want)
 	}
 	total := 0
-	for _, n := range by {
-		total += n
+	for _, po := range by {
+		total += po.Entries
 	}
 	if total != c.Occupancy() {
 		t.Errorf("per-process sum %d != occupancy %d", total, c.Occupancy())
+	}
+}
+
+// Storage reuse across runs must not leak state: a cache rebuilt on a
+// used Storage behaves exactly like one on fresh storage.
+func TestStorageReuseIsClean(t *testing.T) {
+	st := NewStorage(0)
+	cfg := Config{Entries: 32, Ways: 2, IndexOffset: true}
+	first := NewWith(cfg, st)
+	for v := units.VPN(0); v < 40; v++ {
+		first.Insert(Key{PID: 1, VPN: v}, units.PFN(v))
+	}
+	second := NewWith(cfg, st)
+	if second.Occupancy() != 0 {
+		t.Fatalf("reused storage starts with occupancy %d", second.Occupancy())
+	}
+	fresh := New(cfg)
+	for v := units.VPN(0); v < 40; v++ {
+		e1, w1 := second.Insert(Key{PID: 2, VPN: v}, units.PFN(v))
+		e2, w2 := fresh.Insert(Key{PID: 2, VPN: v}, units.PFN(v))
+		if e1 != e2 || w1 != w2 {
+			t.Fatalf("vpn %d: reused (%v,%v) != fresh (%v,%v)", v, e1, w1, e2, w2)
+		}
+	}
+	// A smaller geometry on the same storage must also start clean.
+	small := NewWith(Config{Entries: 8, Ways: 1}, st)
+	if small.Occupancy() != 0 {
+		t.Fatalf("shrunk reuse starts with occupancy %d", small.Occupancy())
+	}
+	if r := small.Lookup(Key{PID: 2, VPN: 1}); r.Hit {
+		t.Fatal("stale entry visible after geometry change")
 	}
 }

@@ -35,11 +35,13 @@ type pageInfo struct {
 	pins int
 }
 
-// Space is one process' virtual address space.
+// Space is one process' virtual address space. Page-table entries are
+// stored by value: a pageInfo is two words, so boxing each one behind
+// a pointer would cost a heap object per mapped page on the pin path.
 type Space struct {
 	pid      units.ProcID
 	mem      *phys.Memory
-	pages    map[units.VPN]*pageInfo
+	pages    map[units.VPN]pageInfo
 	pinLimit int // max distinct pinned pages; 0 means unlimited
 	pinned   int // distinct pages currently pinned
 }
@@ -51,7 +53,7 @@ func NewSpace(pid units.ProcID, mem *phys.Memory, pinLimitPages int) *Space {
 	return &Space{
 		pid:      pid,
 		mem:      mem,
-		pages:    make(map[units.VPN]*pageInfo),
+		pages:    make(map[units.VPN]pageInfo),
 		pinLimit: pinLimitPages,
 	}
 }
@@ -82,7 +84,7 @@ func (s *Space) Touch(vpn units.VPN) (units.PFN, error) {
 	if err != nil {
 		return units.NoPFN, fmt.Errorf("vm: mapping page %#x: %w", vpn, err)
 	}
-	s.pages[vpn] = &pageInfo{pfn: f}
+	s.pages[vpn] = pageInfo{pfn: f}
 	return f, nil
 }
 
@@ -119,6 +121,7 @@ func (s *Space) Pin(vpn units.VPN) (units.PFN, error) {
 	pi, ok := s.pages[vpn]
 	if ok && pi.pins > 0 {
 		pi.pins++
+		s.pages[vpn] = pi
 		return pi.pfn, nil
 	}
 	if s.pinLimit > 0 && s.pinned >= s.pinLimit {
@@ -128,7 +131,9 @@ func (s *Space) Pin(vpn units.VPN) (units.PFN, error) {
 	if err != nil {
 		return units.NoPFN, err
 	}
-	s.pages[vpn].pins++
+	pi = s.pages[vpn]
+	pi.pins++
+	s.pages[vpn] = pi
 	s.pinned++
 	return pfn, nil
 }
@@ -141,6 +146,7 @@ func (s *Space) Unpin(vpn units.VPN) error {
 		return ErrNotPinned
 	}
 	pi.pins--
+	s.pages[vpn] = pi
 	if pi.pins == 0 {
 		s.pinned--
 	}

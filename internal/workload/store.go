@@ -11,7 +11,10 @@ import (
 // the store memoises generation per (app, node, first PID, seed,
 // scale) so `utlbsim all` synthesises each workload trace exactly
 // once, and concurrent experiments asking for the same trace share one
-// generation (single-flight via sync.Once).
+// generation (single-flight via sync.Once). A typed map under an
+// RWMutex rather than sync.Map: the hit path is read-lock + map
+// lookup, with no interface boxing of the key — repeated hits are
+// allocation-free, which the hot-path budget suite asserts.
 //
 // Stored traces are shared, so callers must treat them as read-only;
 // sim.Run already never mutates its input.
@@ -29,7 +32,10 @@ type traceEntry struct {
 	tr   trace.Trace
 }
 
-var traceStore sync.Map // traceKey -> *traceEntry
+var (
+	traceMu    sync.RWMutex
+	traceStore = map[traceKey]*traceEntry{}
+)
 
 // GenerateCached is Generate memoised in the process-wide store: the
 // first caller for a given (spec, cfg) generates the trace, every
@@ -47,8 +53,21 @@ func (s *Spec) GenerateCached(cfg Config) trace.Trace {
 		seed:     cfg.Seed,
 		scale:    scale,
 	}
-	e, _ := traceStore.LoadOrStore(key, &traceEntry{})
-	entry := e.(*traceEntry)
+	traceMu.RLock()
+	entry := traceStore[key]
+	traceMu.RUnlock()
+	if entry == nil {
+		traceMu.Lock()
+		entry = traceStore[key]
+		if entry == nil {
+			entry = &traceEntry{}
+			traceStore[key] = entry
+		}
+		traceMu.Unlock()
+	}
+	// Generation runs outside the store lock: a slow first generation
+	// must not block hits on other keys. sync.Once keeps it
+	// single-flight per entry.
 	entry.once.Do(func() { entry.tr = s.Generate(cfg) })
 	return entry.tr
 }
@@ -57,8 +76,7 @@ func (s *Spec) GenerateCached(cfg Config) trace.Trace {
 // processes that change scale between evaluations and want the memory
 // back).
 func ResetTraceStore() {
-	traceStore.Range(func(k, _ any) bool {
-		traceStore.Delete(k)
-		return true
-	})
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	clear(traceStore)
 }

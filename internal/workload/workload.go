@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"utlb/internal/arena"
 	"utlb/internal/trace"
 	"utlb/internal/units"
 )
@@ -129,41 +130,77 @@ func Names() []string {
 	return out
 }
 
-// Generate produces one node's trace: four application processes
-// running s's pattern over a shared VA layout, plus the SVM protocol
-// process, interleaved by a globally-synchronised clock.
-func (s *Spec) Generate(cfg Config) trace.Trace {
-	scale := cfg.Scale
+// budget is the per-node record budget: how Generate splits footprint
+// and lookups between the four application processes and the SVM
+// protocol process. The protocol process serves the SVM protocol's
+// page and diff traffic — a small hot footprint with many operations.
+// The four app processes share the rest evenly.
+type budget struct {
+	appFootprint, appLookups     int
+	protoFootprint, protoLookups int
+}
+
+func (s *Spec) budget(scale float64) budget {
 	if scale <= 0 {
 		scale = 1.0
 	}
 	footprint := scaleInt(s.FootprintPages, scale)
 	lookups := scaleInt(s.Lookups, scale)
-	rng := rand.New(rand.NewSource(cfg.Seed*31 + int64(cfg.Node)))
-
-	// Budget split: the protocol process serves the SVM protocol's
-	// page and diff traffic — a small hot footprint with many
-	// operations. The four app processes share the rest evenly.
 	protoLookups := lookups / 8
 	protoFootprint := footprint / 40
 	if protoFootprint < 4 {
 		protoFootprint = 4
 	}
-	appLookups := (lookups - protoLookups) / 4
-	appFootprint := (footprint - protoFootprint) / 4
+	return budget{
+		appFootprint:   (footprint - protoFootprint) / 4,
+		appLookups:     (lookups - protoLookups) / 4,
+		protoFootprint: protoFootprint,
+		protoLookups:   protoLookups,
+	}
+}
 
-	var traces []trace.Trace
+// records is the exact per-node record count the budget produces:
+// exactify guarantees each process sequence is exactly its lookup
+// target long (one record minimum).
+func (b budget) records() int {
+	return 4*maxInt(b.appLookups, 1) + maxInt(b.protoLookups, 1)
+}
+
+// Generate produces one node's trace: four application processes
+// running s's pattern over a shared VA layout, plus the SVM protocol
+// process, interleaved by a globally-synchronised clock. The records
+// live in one slab allocation sized exactly to the trace.
+func (s *Spec) Generate(cfg Config) trace.Trace {
+	b := s.budget(cfg.Scale)
+	ar := arena.New[trace.Record](b.records())
+	out := trace.Trace(ar.Alloc(b.records()))
+	s.generateInto(cfg, b, out)
+	return out
+}
+
+// generateInto fills dst (len = b.records()) with the node's records,
+// serialised by timestamp. Filling per-process segments of one block
+// and stable-sorting the whole is record-for-record identical to
+// merging separately allocated per-process traces: trace.Merge is
+// defined as concatenation in argument order followed by SortByTime.
+func (s *Spec) generateInto(cfg Config, b budget, dst trace.Trace) {
+	rng := rand.New(rand.NewSource(cfg.Seed*31 + int64(cfg.Node)))
+	off := 0
 	for p := 0; p < 4; p++ {
 		pid := cfg.FirstPID + units.ProcID(p)
-		seq := s.pattern(rand.New(rand.NewSource(rng.Int63())), appFootprint, appLookups)
-		seq = exactify(seq, appFootprint, appLookups)
-		traces = append(traces, sequenceToTrace(cfg.Node, pid, regionBase, seq, p, rng.Int63()))
+		seq := s.pattern(rand.New(rand.NewSource(rng.Int63())), b.appFootprint, b.appLookups)
+		seq = exactify(seq, b.appFootprint, b.appLookups)
+		sequenceToTrace(dst[off:off+len(seq)], cfg.Node, pid, regionBase, seq, p, rng.Int63())
+		off += len(seq)
 	}
-	protoSeq := protocolPattern(rand.New(rand.NewSource(rng.Int63())), protoFootprint, protoLookups)
-	protoSeq = exactify(protoSeq, protoFootprint, protoLookups)
-	traces = append(traces, sequenceToTrace(cfg.Node, cfg.FirstPID+4, protocolBase, protoSeq, 4, rng.Int63()))
-
-	return trace.Merge(traces...)
+	protoSeq := protocolPattern(rand.New(rand.NewSource(rng.Int63())), b.protoFootprint, b.protoLookups)
+	protoSeq = exactify(protoSeq, b.protoFootprint, b.protoLookups)
+	sequenceToTrace(dst[off:off+len(protoSeq)], cfg.Node, cfg.FirstPID+4, protocolBase, protoSeq, 4, rng.Int63())
+	off += len(protoSeq)
+	if off != len(dst) {
+		panic(fmt.Sprintf("workload: generated %d records into a block of %d", off, len(dst)))
+	}
+	dst.SortByTime()
 }
 
 func scaleInt(n int, scale float64) int {
@@ -235,13 +272,13 @@ func exactify(seq []int, footprint, length int) []int {
 	return seq
 }
 
-// sequenceToTrace stamps the page sequence into trace records. Each
-// process issues one operation every ~7 µs with seeded jitter, offset
-// by its index, so merging interleaves the processes the way the
-// paper's globally-synchronised timestamps do.
-func sequenceToTrace(node units.NodeID, pid units.ProcID, base units.VPN, seq []int, slot int, seed int64) trace.Trace {
+// sequenceToTrace stamps the page sequence into out (len(out) ==
+// len(seq), typically a segment of an arena block). Each process
+// issues one operation every ~7 µs with seeded jitter, offset by its
+// index, so merging interleaves the processes the way the paper's
+// globally-synchronised timestamps do.
+func sequenceToTrace(out trace.Trace, node units.NodeID, pid units.ProcID, base units.VPN, seq []int, slot int, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
-	out := make(trace.Trace, len(seq))
 	t := units.Time(slot) * 1500
 	for i, page := range seq {
 		t += units.FromMicros(5 + 4*rng.Float64())
@@ -258,22 +295,28 @@ func sequenceToTrace(node units.NodeID, pid units.ProcID, base units.VPN, seq []
 			Bytes: units.PageSize,
 		}
 	}
-	return out
 }
 
 // GenerateCluster produces traces for nodes nodes and returns them
-// merged; PIDs are globally unique.
+// merged; PIDs are globally unique. All nodes' records share one slab
+// allocation: each node generates into its segment and one stable sort
+// serialises the union, which is what trace.Merge of the per-node
+// traces would produce.
 func (s *Spec) GenerateCluster(nodes int, seed int64, scale float64) trace.Trace {
-	var all []trace.Trace
+	b := s.budget(scale)
+	perNode := b.records()
+	ar := arena.New[trace.Record](nodes * perNode)
+	all := trace.Trace(ar.Alloc(nodes * perNode))
 	for n := 0; n < nodes; n++ {
-		all = append(all, s.Generate(Config{
+		s.generateInto(Config{
 			Node:     units.NodeID(n),
 			FirstPID: units.ProcID(1 + n*ProcsPerNode),
 			Seed:     seed,
 			Scale:    scale,
-		}))
+		}, b, all[n*perNode:(n+1)*perNode])
 	}
-	return trace.Merge(all...)
+	all.SortByTime()
+	return all
 }
 
 // sortedKeys is a test/debug helper: the distinct pages of a sequence.

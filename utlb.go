@@ -109,6 +109,8 @@ type (
 	SimResult = sim.Result
 	// Mechanism selects UTLB or the interrupt baseline.
 	Mechanism = sim.Mechanism
+	// SimScratch is reusable per-run working memory for SimulateWith.
+	SimScratch = sim.RunScratch
 	// WorkloadSpec describes one of the seven applications.
 	WorkloadSpec = workload.Spec
 	// WorkloadConfig parameterises trace generation.
@@ -132,12 +134,34 @@ func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
 // a silent substitution of defaults.
 func Simulate(tr Trace, cfg SimConfig) (SimResult, error) { return sim.Run(tr, cfg) }
 
+// NewSimScratch allocates reusable working memory for SimulateWith.
+func NewSimScratch() *SimScratch { return sim.NewRunScratch() }
+
+// SimulateWith is Simulate with caller-owned scratch memory: repeated
+// runs through the same scratch reuse the cache storage, classifier
+// and library state instead of reallocating them. Results are
+// identical to Simulate's. The scratch must not be shared between
+// concurrent runs. Simulate itself draws scratch from a pool, so
+// SimulateWith matters when the caller wants a deterministic
+// allocation profile (the pool can be drained by GC at any time).
+func SimulateWith(tr Trace, cfg SimConfig, scr *SimScratch) (SimResult, error) {
+	return sim.RunWith(tr, cfg, scr)
+}
+
 // Workloads lists the seven SPLASH-2-like application specs in the
 // paper's Table 3 order.
 func Workloads() []*WorkloadSpec { return workload.Specs() }
 
 // WorkloadByName returns the named application spec.
 func WorkloadByName(name string) (*WorkloadSpec, error) { return workload.ByName(name) }
+
+// GenerateBulkTrace produces the multi-page bulk-transfer workload
+// (1-16 pages per operation) that the batched translation path
+// amortises over; see SimConfig.BatchPages and the batchsweep
+// experiment.
+func GenerateBulkTrace(node NodeID, firstPID ProcID, seed int64, scale float64) Trace {
+	return workload.BulkTransfer(node, firstPID, seed, scale)
+}
 
 // GenerateTrace produces one node's communication trace for the named
 // application at the given scale (1.0 = the paper's size).
