@@ -4,12 +4,12 @@ GO ?= go
 # this directory as a build artifact.
 ARTIFACTS ?= artifacts
 
-.PHONY: all check vet lint build test race bench bench-json bench-compare obs-smoke chaos clean
+.PHONY: all check vet lint build test race bench bench-json bench-compare obs-smoke chaos loadtest clean
 
 all: check
 
 # The full local gate: what CI runs, in order.
-check: vet lint build race bench obs-smoke chaos bench-compare
+check: vet lint build race bench obs-smoke chaos loadtest bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -83,6 +83,15 @@ chaos:
 		diff $(ARTIFACTS)/chaos/s$$seed-p1.txt $(ARTIFACTS)/chaos/s$$seed-p8.txt || exit 1; \
 	done
 	@echo "chaos: byte-identical at widths 1 and 8 for both fault seeds"
+
+# Load-test smoke: a short utlbload run against an in-process serve
+# instance (cmd/utlbload's TestLoad* drive the real client path end to
+# end and assert nonzero lookups/sec), plus the translation service's
+# own concurrency suites — all under -race. A recorded full run lives
+# in BENCH_load.json; render it with `go run ./cmd/benchjson -load`.
+loadtest:
+	$(GO) test -race -run 'TestLoad' ./cmd/utlbload
+	$(GO) test -race ./internal/xlate ./internal/serve
 
 clean:
 	$(GO) clean ./...

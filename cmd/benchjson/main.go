@@ -11,6 +11,7 @@
 //
 //	go run ./cmd/benchjson [-scale 0.05] > numbers.json
 //	go run ./cmd/benchjson -compare old.json new.json [-threshold 1.25]
+//	go run ./cmd/benchjson -load BENCH_load.json
 //
 // -compare prints per-benchmark ns/op and allocs/op deltas between two
 // recorded documents and exits non-zero if any shared benchmark's
@@ -20,6 +21,11 @@
 // the threshold; the allocation gate is exact — allocs/op is machine-
 // independent, so the budget carries no headroom. CI runs this as a
 // blocking step against the committed BENCH_pr6.json.
+//
+// -load renders a human-readable throughput/latency table from the
+// BENCH_load.json document cmd/utlbload writes. Load numbers depend
+// on the machine and network path, so this report is informational
+// and never fails the build.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"utlb/internal/experiments"
 	"utlb/internal/obs"
@@ -60,7 +67,20 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "workload scale for the RunAll benchmarks")
 	compare := flag.Bool("compare", false, "compare two recorded documents: benchjson -compare old.json new.json")
 	threshold := flag.Float64("threshold", 1.25, "with -compare, fail when new ns/op exceeds old by this ratio")
+	load := flag.Bool("load", false, "render a report from a BENCH_load.json document: benchjson -load BENCH_load.json")
 	flag.Parse()
+
+	if *load {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -load needs exactly one file: BENCH_load.json")
+			os.Exit(2)
+		}
+		if err := runLoadReport(os.Stdout, flag.Arg(0)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {
@@ -161,6 +181,59 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (regres
 		fmt.Fprintf(w, "\nFAIL: a benchmark regressed past %.2fx or blew its allocation budget\n", threshold)
 	}
 	return regressed, nil
+}
+
+// loadDoc is the subset of the BENCH_load.json document (written by
+// cmd/utlbload) the report renders. Unknown fields are ignored so the
+// generator can grow its schema without breaking old reports.
+type loadDoc struct {
+	Addr      string `json:"addr"`
+	Shape     string `json:"shape"`
+	Footprint int    `json:"footprint_pages"`
+	Batch     int    `json:"batch"`
+	Note      string `json:"note,omitempty"`
+	Runs      []struct {
+		Clients       int     `json:"clients"`
+		Lookups       int64   `json:"lookups"`
+		LookupsPerSec float64 `json:"lookups_per_sec"`
+		LatencyP50Ns  int64   `json:"latency_p50_ns"`
+		LatencyP99Ns  int64   `json:"latency_p99_ns"`
+	} `json:"runs"`
+}
+
+// runLoadReport renders a human-readable table from a BENCH_load.json
+// document. Load numbers depend on the machine and the network path,
+// so this report is informational only — it never fails the build the
+// way -compare does.
+func runLoadReport(w io.Writer, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var d loadDoc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(d.Runs) == 0 {
+		return fmt.Errorf("%s: no runs recorded", path)
+	}
+	fmt.Fprintf(w, "load: %s shape=%s footprint=%d batch=%d", d.Addr, d.Shape, d.Footprint, d.Batch)
+	if d.Note != "" {
+		fmt.Fprintf(w, " (%s)", d.Note)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-8s %12s %14s %12s %12s %10s\n", "clients", "lookups", "lookups/sec", "p50", "p99", "scaling")
+	base := d.Runs[0].LookupsPerSec
+	for _, r := range d.Runs {
+		scaling := "-"
+		if base > 0 {
+			scaling = fmt.Sprintf("%.2fx", r.LookupsPerSec/base)
+		}
+		fmt.Fprintf(w, "%-8d %12d %14.0f %12s %12s %10s\n",
+			r.Clients, r.Lookups, r.LookupsPerSec,
+			time.Duration(r.LatencyP50Ns).String(), time.Duration(r.LatencyP99Ns).String(), scaling)
+	}
+	return nil
 }
 
 func run(w io.Writer, scale float64) error {

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"utlb/internal/serve"
+)
+
+// TestLoadSmoke drives the full generator path against an in-process
+// serve instance: prime, sweep two client counts, check the report.
+// This is the `make loadtest` target (run under -race).
+func TestLoadSmoke(t *testing.T) {
+	ts := httptest.NewServer(serve.New().Handler())
+	defer ts.Close()
+
+	var out strings.Builder
+	code := run([]string{
+		"-addr", ts.URL, "-clients", "1,4", "-ops", "4000",
+		"-footprint", "512", "-batch", "32", "-shape", "zipf", "-json", "-",
+	}, &out)
+	if code != 0 {
+		t.Fatalf("run exited %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "clients=1") || !strings.Contains(out.String(), "clients=4") {
+		t.Fatalf("report missing client lines:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), `"lookups_per_sec"`) {
+		t.Fatalf("no JSON document emitted:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), `"lookups_per_sec": 0,`) {
+		t.Fatalf("zero throughput recorded:\n%s", out.String())
+	}
+}
+
+// Every shape materialises and sustains lookups; the primed universe
+// makes each run all-hits, which the smoke asserts end to end.
+func TestLoadShapes(t *testing.T) {
+	ts := httptest.NewServer(serve.New().Handler())
+	defer ts.Close()
+
+	for _, shape := range []string{"uniform", "seq", "app:fft", "app:barnes"} {
+		var out strings.Builder
+		code := run([]string{
+			"-addr", ts.URL, "-clients", "2", "-ops", "1000",
+			"-footprint", "256", "-batch", "50", "-shape", shape,
+		}, &out)
+		if code != 0 {
+			t.Fatalf("shape %s: exited %d\n%s", shape, code, out.String())
+		}
+		if !strings.Contains(out.String(), "lookups=1000 hits=1000") {
+			t.Fatalf("shape %s: primed run was not all-hits:\n%s", shape, out.String())
+		}
+	}
+}
+
+func TestLoadBadArgs(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-clients", "0"}, &out); code != 2 {
+		t.Errorf("bad clients accepted (exit %d)", code)
+	}
+	if code := run([]string{"-shape", "nosuch"}, &out); code != 2 {
+		t.Errorf("bad shape accepted (exit %d)", code)
+	}
+	if code := run([]string{"-shape", "app:nosuchapp"}, &out); code != 2 {
+		t.Errorf("bad app shape accepted (exit %d)", code)
+	}
+}
+
+// A dead server is a runtime failure (exit 1), reported before any
+// run entry is produced.
+func TestLoadServerDown(t *testing.T) {
+	ts := httptest.NewServer(serve.New().Handler())
+	ts.Close() // immediately: connection refused
+	var out strings.Builder
+	if code := run([]string{"-addr", ts.URL, "-ops", "100", "-footprint", "32"}, &out); code != 1 {
+		t.Errorf("dead server: exit %d, want 1", code)
+	}
+}

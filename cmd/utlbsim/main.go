@@ -46,6 +46,7 @@ import (
 	"utlb/internal/parallel"
 	"utlb/internal/serve"
 	"utlb/internal/trace"
+	"utlb/internal/xlate"
 )
 
 func main() {
@@ -166,15 +167,29 @@ func run(exp, traceIn string, scale float64, seed int64, apps string, nodes, pin
 	return experiments.Run(exp, opts, os.Stdout)
 }
 
-// serveMain runs the live observability server.
+// serveMain runs the live observability server. The xlate-* flags set
+// the hosted translation service's geometry; the defaults are
+// xlate.DefaultConfig.
 func serveMain(args []string) error {
 	fs := flag.NewFlagSet("utlbsim serve", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:8080", "listen address")
+	def := xlate.DefaultConfig()
+	shards := fs.Int("xlate-shards", def.Shards, "translation-service shard count (power of two)")
+	entries := fs.Int("xlate-entries", def.Entries, "TLB entries per shard (power of two)")
+	ways := fs.Int("xlate-ways", def.Ways, "set associativity per shard (1, 2 or 4)")
+	offset := fs.Bool("xlate-offset", def.IndexOffset, "per-process index offsetting in each shard")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "utlbsim: serving observability on http://%s/\n", *addr)
-	return http.ListenAndServe(*addr, serve.New().Handler())
+	xl, err := xlate.New(xlate.Config{
+		Shards: *shards, Entries: *entries, Ways: *ways, IndexOffset: *offset,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "utlbsim: serving observability on http://%s/ (xlate: %d shards x %d entries, %d-way)\n",
+		*addr, *shards, *entries, *ways)
+	return http.ListenAndServe(*addr, serve.NewWith(xl).Handler())
 }
 
 // writeObs exports the collected timeline to the requested files.

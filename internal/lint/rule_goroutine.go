@@ -6,15 +6,21 @@ import (
 
 // goroutinePkgs are the only module-relative package trees allowed to
 // start goroutines: the deterministic worker pool (which serializes
-// results back into submission order) and the HTTP server (whose
-// handlers net/http drives concurrently anyway). Everywhere else a
-// naked go statement bypasses the pool's determinism guarantees.
-var goroutinePkgs = []string{"internal/parallel", "internal/serve"}
+// results back into submission order), the HTTP server (whose handlers
+// net/http drives concurrently anyway), the sharded translation
+// service it hosts (concurrency is that subsystem's purpose; all
+// shared state sits behind per-shard locks), and the load generator
+// that hammers it (K concurrent closed-loop clients). Everywhere else
+// a naked go statement bypasses the pool's determinism guarantees.
+var goroutinePkgs = []string{
+	"internal/parallel", "internal/serve", "internal/xlate",
+	"cmd/utlbload",
+}
 
 func ruleGoroutine() Rule {
 	return Rule{
 		Name: "goroutine",
-		Doc:  "goroutines may only be started inside internal/parallel and internal/serve; everything else uses the deterministic pool",
+		Doc:  "goroutines may only be started inside internal/parallel, internal/serve, internal/xlate and cmd/utlbload; everything else uses the deterministic pool",
 		Check: func(prog *Program, pkg *Package) []Finding {
 			allowed := make([]string, len(goroutinePkgs))
 			for i, p := range goroutinePkgs {
@@ -29,7 +35,7 @@ func ruleGoroutine() Rule {
 					if g, ok := n.(*ast.GoStmt); ok {
 						out = append(out, Finding{
 							Rule: "goroutine", Pos: pkg.Fset.Position(g.Pos()),
-							Msg: "naked go statement outside internal/parallel|serve; route concurrency through the deterministic pool",
+							Msg: "naked go statement outside internal/parallel|serve|xlate|cmd/utlbload; route concurrency through the deterministic pool",
 						})
 					}
 					return true

@@ -1,0 +1,15 @@
+// Command utlbload is a lint fixture: the load generator runs K
+// concurrent clients, so it may start goroutines.
+package main
+
+func main() {
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() { // good: cmd/utlbload owns its client goroutines
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+}

@@ -16,8 +16,8 @@ type Digest struct {
 }
 
 const (
-	subBits          = 5
-	subBuckets       = 1 << subBits
+	subBits    = 5
+	subBuckets = 1 << subBits
 	// Top bucket: oct=63 gives (63-subBits+1)<<subBits + 31 = 1919.
 	numDigestBuckets = (64 - subBits + 1) * subBuckets // 1920
 )
@@ -55,6 +55,21 @@ func (d *Digest) Add(v int64) {
 	d.sum += v
 	if v > d.max {
 		d.max = v
+	}
+}
+
+// Merge folds other into d. Because buckets are commutative sums,
+// merging per-worker digests yields byte-identical quantiles to one
+// digest fed every value — the property concurrent load generators
+// rely on for deterministic reports.
+func (d *Digest) Merge(other *Digest) {
+	for i := range d.counts {
+		d.counts[i] += other.counts[i]
+	}
+	d.n += other.n
+	d.sum += other.sum
+	if other.max > d.max {
+		d.max = other.max
 	}
 }
 

@@ -9,11 +9,23 @@
 //	GET /api/runs              cached experiment results (JSON)
 //	GET /api/runs/{slug}/trace Chrome trace download for one cached result
 //	GET /api/analyze           transfer-level analysis (JSON; ?exp=&topk=)
+//	GET /api/xlate/lookup      live translation service: lookup (single or batched)
+//	GET /api/xlate/insert      install translations (single or batched)
+//	GET /api/xlate/invalidate  drop one translation or a whole process
+//	GET /api/xlate/stats       per-shard and total service counters (JSON)
 //	GET /debug/pprof/          live profiling of the server process
 //
 // Query parameters for experiment-running endpoints: exp (required;
 // canonical name or t1-t8/f7-f8 alias), scale, seed, apps
 // (comma-separated), nodes, parallel.
+//
+// Concurrency: experiment execution is single-flighted per parameter
+// slug (duplicate requests share one run) and serialised globally —
+// the worker-pool width is process-global state — but everything else
+// runs concurrently: read-only endpoints serve cached results under a
+// read lock, and the xlate translation service runs entirely outside
+// the experiment path behind its own per-shard locks, so live
+// translation traffic is never stalled by an in-flight experiment.
 package serve
 
 import (
@@ -30,6 +42,7 @@ import (
 	"utlb/internal/obs/analyze"
 	"utlb/internal/parallel"
 	"utlb/internal/workload"
+	"utlb/internal/xlate"
 )
 
 // maxCached bounds the result cache; past it the oldest entry is
@@ -110,19 +123,62 @@ type result struct {
 	events int64
 }
 
-// Server runs experiments on demand and serves their timelines. One
-// mutex serialises executions: the worker-pool width is process-global
-// state, so concurrent runs at different widths would race.
-type Server struct {
-	mu    sync.Mutex
-	cache map[string]*result
-	order []string // insertion order, for eviction
+// flight is one in-progress experiment execution: the leader fills
+// res/err and closes done; duplicate requests for the same slug wait
+// on done instead of re-running.
+type flight struct {
+	done chan struct{}
+	res  *result
+	err  error
 }
 
-// New returns an empty server.
-func New() *Server {
-	return &Server{cache: make(map[string]*result)}
+// Server runs experiments on demand and serves their timelines, and
+// hosts the live xlate translation service.
+//
+// Locking: runMu serialises experiment executions (the worker-pool
+// width is process-global state, so concurrent runs at different
+// widths would race). mu is a read-write lock over the result cache
+// and the in-flight table only — read-only endpoints take it briefly
+// and never wait behind an executing experiment. The xlate service
+// has its own per-shard locks and touches neither mutex.
+type Server struct {
+	runMu sync.Mutex // serialises experiment execution
+	// runHook, when non-nil, runs inside the execution critical
+	// section (after runMu is taken, before the experiment). Tests use
+	// it to hold an experiment in flight while probing other
+	// endpoints for independence.
+	runHook func()
+
+	mu       sync.RWMutex // guards cache, order, inflight
+	cache    map[string]*result
+	order    []string // insertion order, for eviction
+	inflight map[string]*flight
+
+	xl *xlate.Service
 }
+
+// New returns an empty server with the default translation-service
+// geometry.
+func New() *Server {
+	xl, err := xlate.New(xlate.DefaultConfig())
+	if err != nil {
+		panic(err) // DefaultConfig is static and valid
+	}
+	return NewWith(xl)
+}
+
+// NewWith returns an empty server hosting xl as its translation
+// service.
+func NewWith(xl *xlate.Service) *Server {
+	return &Server{
+		cache:    make(map[string]*result),
+		inflight: make(map[string]*flight),
+		xl:       xl,
+	}
+}
+
+// Xlate returns the hosted translation service.
+func (s *Server) Xlate() *xlate.Service { return s.xl }
 
 // Handler returns the server's route table.
 func (s *Server) Handler() http.Handler {
@@ -132,6 +188,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/runs", s.handleRuns)
 	mux.HandleFunc("/api/runs/", s.handleTrace)
 	mux.HandleFunc("/api/analyze", s.handleAnalyze)
+	mux.HandleFunc("/api/xlate/lookup", s.handleXlateLookup)
+	mux.HandleFunc("/api/xlate/insert", s.handleXlateInsert)
+	mux.HandleFunc("/api/xlate/invalidate", s.handleXlateInvalidate)
+	mux.HandleFunc("/api/xlate/stats", s.handleXlateStats)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -141,13 +201,57 @@ func (s *Server) Handler() http.Handler {
 }
 
 // get returns the cached result for p, running the experiment on a
-// cache miss. Runs execute under the server mutex (single-flight).
+// cache miss. Executions are single-flighted per slug: the first
+// request becomes the leader and runs the experiment (serialised
+// globally by runMu because the worker-pool width is process-global);
+// duplicates wait for the leader's result. Cache reads never wait
+// behind an execution.
 func (s *Server) get(p params) (*result, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	key := p.slug()
-	if r, ok := s.cache[key]; ok {
+	s.mu.RLock()
+	r, ok := s.cache[key]
+	s.mu.RUnlock()
+	if ok {
 		return r, nil
+	}
+
+	s.mu.Lock()
+	if r, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.res, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	f.res, f.err = s.run(p)
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if f.err == nil {
+		if len(s.order) >= maxCached {
+			delete(s.cache, s.order[0])
+			s.order = s.order[1:]
+		}
+		s.cache[key] = f.res
+		s.order = append(s.order, key)
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.res, f.err
+}
+
+// run executes the experiment for p under the global execution lock.
+func (s *Server) run(p params) (*result, error) {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	if s.runHook != nil {
+		s.runHook()
 	}
 	prev := parallel.Workers()
 	parallel.SetWorkers(p.parallel)
@@ -165,19 +269,13 @@ func (s *Server) get(p params) (*result, error) {
 	for _, run := range r.runs {
 		r.events += int64(len(run.Events))
 	}
-	if len(s.order) >= maxCached {
-		delete(s.cache, s.order[0])
-		s.order = s.order[1:]
-	}
-	s.cache[key] = r
-	s.order = append(s.order, key)
 	return r, nil
 }
 
 // cachedRuns snapshots every cached timeline, in cache-key order.
 func (s *Server) cachedRuns() []obs.Run {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var runs []obs.Run
 	for _, key := range s.order {
 		runs = append(runs, s.cache[key].runs...)
@@ -194,8 +292,15 @@ const indexHTML = `<!doctype html>
 <li><a href="/api/runs">/api/runs</a> &mdash; cached results (JSON)</li>
 <li>/api/runs/{slug}/trace &mdash; Chrome trace (load in chrome://tracing or Perfetto)</li>
 <li><a href="/api/analyze?exp=t6">/api/analyze?exp=t6</a> &mdash; transfer-level latency analysis (JSON)</li>
+<li><a href="/api/xlate/stats">/api/xlate/stats</a> &mdash; live translation service per-shard counters (JSON)</li>
+<li>/api/xlate/lookup?pid=1&amp;vpn=42 or ?keys=1:42,1:43 &mdash; concurrent translation lookups (batched)</li>
+<li>/api/xlate/insert?keys=1:42,1:43 &mdash; install translations (pid:vpn[:pfn] triples)</li>
+<li>/api/xlate/invalidate?pid=1&amp;vpn=42 (or just pid= for process exit)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> &mdash; live profiles of this server</li>
 </ul>
+<p>The xlate endpoints are served by a sharded concurrent translation
+service and never wait behind experiment execution; hammer them with
+<code>utlbload</code>.</p>
 <p>Parameters: <code>exp</code> (table1..table8, fig7, fig8, or t1..t8/f7/f8),
 <code>scale</code>, <code>seed</code>, <code>apps</code>, <code>nodes</code>, <code>parallel</code>,
 and <code>topk</code> for /api/analyze.</p>
@@ -234,6 +339,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := obs.WritePrometheus(w, obs.Aggregate(runs)); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// The live translation service shares the scrape surface: its
+	// per-shard counters are appended after the simulation metrics.
+	if err := xlate.WritePrometheus(w, s.xl.Stats()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 
@@ -250,7 +361,7 @@ type runInfo struct {
 }
 
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+	s.mu.RLock()
 	infos := make([]runInfo, 0, len(s.order))
 	for _, key := range s.order {
 		res := s.cache[key]
@@ -269,7 +380,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 			TraceURL: "/api/runs/" + key + "/trace",
 		})
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, infos)
 }
 
@@ -282,9 +393,9 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	res := s.cache[slug]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if res == nil {
 		http.Error(w, fmt.Sprintf("no cached result %q (run it via /api/analyze or /metrics first; see /api/runs)", slug),
 			http.StatusNotFound)

@@ -1,0 +1,176 @@
+package serve
+
+// The /api/xlate/* endpoints expose the sharded translation service
+// as live traffic endpoints. They are deliberately independent of the
+// experiment machinery: handlers touch only the xlate.Service (its
+// own per-shard locks), so translation traffic flows at full rate
+// while experiments execute.
+//
+// Key syntax: a single key is ?pid=1&vpn=42; batches are
+// ?keys=pid:vpn[,pid:vpn...]. Inserts accept pid:vpn:pfn triples; a
+// pair gets the deterministic xlate.SyntheticPFN frame so load
+// generators can verify translations end-to-end without shipping
+// frame numbers.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"utlb/internal/units"
+	"utlb/internal/xlate"
+)
+
+// maxBatchKeys bounds one request's batch so a single call cannot
+// hold shard locks for unbounded work.
+const maxBatchKeys = 4096
+
+// parseKey reads one pid:vpn[:pfn] triple. withPFN reports whether an
+// explicit frame was present.
+func parseKey(s string) (k xlate.Key, pfn units.PFN, withPFN bool, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return k, 0, false, fmt.Errorf("bad key %q (want pid:vpn or pid:vpn:pfn)", s)
+	}
+	pid, err := strconv.ParseUint(parts[0], 10, 32)
+	if err != nil {
+		return k, 0, false, fmt.Errorf("bad pid in key %q", s)
+	}
+	vpn, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return k, 0, false, fmt.Errorf("bad vpn in key %q", s)
+	}
+	k = xlate.Key{PID: units.ProcID(pid), VPN: units.VPN(vpn)}
+	if len(parts) == 3 {
+		raw, err := strconv.ParseUint(parts[2], 10, 64)
+		if err != nil {
+			return k, 0, false, fmt.Errorf("bad pfn in key %q", s)
+		}
+		return k, units.PFN(raw), true, nil
+	}
+	return k, 0, false, nil
+}
+
+// parseKeys reads the request's key set: either the batched keys=
+// parameter or the single pid=/vpn= pair. pfns[i] carries the
+// explicit or synthetic frame for inserts.
+func parseKeys(r *http.Request) (keys []xlate.Key, pfns []units.PFN, err error) {
+	q := r.URL.Query()
+	if list := q.Get("keys"); list != "" {
+		parts := strings.Split(list, ",")
+		if len(parts) > maxBatchKeys {
+			return nil, nil, fmt.Errorf("batch of %d keys exceeds limit %d", len(parts), maxBatchKeys)
+		}
+		keys = make([]xlate.Key, len(parts))
+		pfns = make([]units.PFN, len(parts))
+		for i, part := range parts {
+			k, pfn, withPFN, err := parseKey(part)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !withPFN {
+				pfn = xlate.SyntheticPFN(k)
+			}
+			keys[i], pfns[i] = k, pfn
+		}
+		return keys, pfns, nil
+	}
+	pidStr, vpnStr := q.Get("pid"), q.Get("vpn")
+	if pidStr == "" || vpnStr == "" {
+		return nil, nil, fmt.Errorf("need keys= or pid= and vpn=")
+	}
+	pid, err := strconv.ParseUint(pidStr, 10, 32)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bad pid %q", pidStr)
+	}
+	vpn, err := strconv.ParseUint(vpnStr, 10, 64)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bad vpn %q", vpnStr)
+	}
+	k := xlate.Key{PID: units.ProcID(pid), VPN: units.VPN(vpn)}
+	pfn := xlate.SyntheticPFN(k)
+	if v := q.Get("pfn"); v != "" {
+		raw, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad pfn %q", v)
+		}
+		pfn = units.PFN(raw)
+	}
+	return []xlate.Key{k}, []units.PFN{pfn}, nil
+}
+
+// xlateResult is one lookup outcome on the wire.
+type xlateResult struct {
+	Hit    bool      `json:"hit"`
+	PFN    units.PFN `json:"pfn,omitempty"`
+	Probes int       `json:"probes"`
+}
+
+// xlateLookupResponse answers /api/xlate/lookup. Lookups and Hits are
+// aggregated so high-rate clients can skip decoding Results.
+type xlateLookupResponse struct {
+	Lookups int64         `json:"lookups"`
+	Hits    int64         `json:"hits"`
+	Results []xlateResult `json:"results"`
+}
+
+func (s *Server) handleXlateLookup(w http.ResponseWriter, r *http.Request) {
+	keys, _, err := parseKeys(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out := s.xl.LookupMany(keys, nil)
+	resp := xlateLookupResponse{Lookups: int64(len(out))}
+	resp.Results = make([]xlateResult, len(out))
+	for i, res := range out {
+		resp.Results[i] = xlateResult{Hit: res.Hit, Probes: res.Probes}
+		if res.Hit {
+			resp.Results[i].PFN = res.PFN
+			resp.Hits++
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleXlateInsert(w http.ResponseWriter, r *http.Request) {
+	keys, pfns, err := parseKeys(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	evictions := s.xl.InsertMany(keys, pfns)
+	writeJSON(w, map[string]int{"inserted": len(keys), "evictions": evictions})
+}
+
+func (s *Server) handleXlateInvalidate(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	// pid without vpn (and no keys=) is a process-wide invalidation.
+	if q.Get("pid") != "" && q.Get("vpn") == "" && q.Get("keys") == "" {
+		pid, err := strconv.ParseUint(q.Get("pid"), 10, 32)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad pid %q", q.Get("pid")), http.StatusBadRequest)
+			return
+		}
+		dropped := s.xl.InvalidateProcess(units.ProcID(pid))
+		writeJSON(w, map[string]int{"dropped": dropped})
+		return
+	}
+	keys, _, err := parseKeys(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	dropped := 0
+	for _, k := range keys {
+		if s.xl.Invalidate(k) {
+			dropped++
+		}
+	}
+	writeJSON(w, map[string]int{"dropped": dropped})
+}
+
+func (s *Server) handleXlateStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.xl.Stats())
+}

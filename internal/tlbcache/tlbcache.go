@@ -121,8 +121,11 @@ type Cache struct {
 	st      *Storage // numSets * ways lines, set-major
 	tick    int64
 
-	hits   int64
-	misses int64
+	hits          int64
+	misses        int64
+	fills         int64
+	evictions     int64
+	invalidations int64
 
 	// Observability: when rec is non-nil, lookups, fills, evictions and
 	// invalidations are recorded against clock (the NIC clock of the
@@ -198,6 +201,45 @@ func (c *Cache) SRAMBytes() int { return c.cfg.Entries * EntryBytes }
 // Hits and Misses report cumulative lookup outcomes.
 func (c *Cache) Hits() int64   { return c.hits }
 func (c *Cache) Misses() int64 { return c.misses }
+
+// Stats is the cache's cumulative counter snapshot. All fields are
+// plain sums of per-operation outcomes, so snapshots taken from
+// different caches add field-wise — the property the sharded
+// translation service (internal/xlate) relies on to aggregate
+// per-shard counters into deterministic totals.
+type Stats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Fills         int64 `json:"fills"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	DroppedFills  int64 `json:"dropped_fills,omitempty"`
+}
+
+// Add accumulates other into s field-wise.
+func (s *Stats) Add(other Stats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Fills += other.Fills
+	s.Evictions += other.Evictions
+	s.Invalidations += other.Invalidations
+	s.DroppedFills += other.DroppedFills
+}
+
+// Stats snapshots the cumulative counters: lookup outcomes, line
+// installs (Fills counts every successful Insert, in-place updates
+// included), evictions, and invalidated entries (Invalidate,
+// InvalidateProcess and Flush all count the lines they clear).
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Fills:         c.fills,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		DroppedFills:  c.droppedFills,
+	}
+}
 
 // offset returns the process-dependent index offset. Knuth's
 // multiplicative constant spreads consecutive PIDs far apart, which is
@@ -285,6 +327,7 @@ func (c *Cache) Insert(k Key, pfn units.PFN) (evicted Key, wasEvicted bool) {
 	}
 	base := c.setBase(k)
 	c.tick++
+	c.fills++
 	victim := base
 	for i := base; i < base+c.cfg.Ways; i++ {
 		if c.st.valid[i] && c.st.keys[i] == k {
@@ -304,6 +347,7 @@ func (c *Cache) Insert(k Key, pfn units.PFN) (evicted Key, wasEvicted bool) {
 	}
 	if c.st.valid[victim] {
 		evicted, wasEvicted = c.st.keys[victim], true
+		c.evictions++
 	}
 	c.st.valid[victim] = true
 	c.st.keys[victim] = k
@@ -326,6 +370,7 @@ func (c *Cache) Invalidate(k Key) bool {
 	for j := base; j < base+c.cfg.Ways; j++ {
 		if c.st.valid[j] && c.st.keys[j] == k {
 			c.st.clearLine(j)
+			c.invalidations++
 			if c.rec != nil {
 				c.record(obs.KindCacheInvalidate, k, 1)
 			}
@@ -345,6 +390,7 @@ func (c *Cache) InvalidateProcess(pid units.ProcID) int {
 			n++
 		}
 	}
+	c.invalidations += int64(n)
 	if c.rec != nil && n > 0 {
 		// One event for the sweep: Arg2 carries the entry count.
 		c.record(obs.KindCacheInvalidate, Key{PID: pid}, uint64(n))
@@ -357,6 +403,7 @@ func (c *Cache) Flush() {
 	for j := range c.st.valid {
 		if c.st.valid[j] {
 			c.st.clearLine(j)
+			c.invalidations++
 		}
 	}
 }

@@ -318,3 +318,42 @@ func TestStorageReuseIsClean(t *testing.T) {
 		t.Fatal("stale entry visible after geometry change")
 	}
 }
+
+// Stats counters must track every mutation path and add field-wise,
+// the contract the sharded translation service aggregates on.
+func TestStatsCounters(t *testing.T) {
+	c := New(Config{Entries: 4, Ways: 2})
+	k := func(pid, vpn int) Key { return Key{PID: units.ProcID(pid), VPN: units.VPN(vpn)} }
+
+	// 2 sets of 2 ways; without index offsetting, set = VPN & 1.
+	c.Lookup(k(1, 10)) // miss
+	c.Insert(k(1, 10), 100)
+	c.Lookup(k(1, 10))      // hit
+	c.Insert(k(1, 10), 101) // in-place update: a fill, no eviction
+	c.Insert(k(1, 12), 112) // set 0 now full: {10, 12}
+	c.Insert(k(1, 14), 114) // evicts 10, the set-0 LRU
+	c.Invalidate(k(1, 12))
+	c.Invalidate(k(1, 12))  // absent: not counted
+	c.Insert(k(2, 21), 200) // set 1, no eviction
+	c.InvalidateProcess(2)
+
+	got := c.Stats()
+	want := Stats{Hits: 1, Misses: 1, Fills: 5, Evictions: 1, Invalidations: 2}
+	if got != want {
+		t.Fatalf("Stats = %+v, want %+v", got, want)
+	}
+
+	var sum Stats
+	sum.Add(got)
+	sum.Add(got)
+	if sum.Hits != 2*got.Hits || sum.Fills != 2*got.Fills || sum.Invalidations != 2*got.Invalidations {
+		t.Fatalf("Add is not field-wise: %+v", sum)
+	}
+
+	before := c.Occupancy()
+	c.Flush()
+	after := c.Stats()
+	if after.Invalidations != want.Invalidations+int64(before) {
+		t.Fatalf("Flush counted %d invalidations, want %d", after.Invalidations-want.Invalidations, before)
+	}
+}

@@ -1,0 +1,138 @@
+package xlate
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"utlb/internal/units"
+)
+
+// splitWork fans a fixed op list across k workers (contiguous chunks)
+// and waits for all of them.
+func splitWork(k int, n int, work func(lo, hi int)) {
+	var wg sync.WaitGroup
+	chunk := (n + k - 1) / k
+	for w := 0; w < k; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			work(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// The acceptance invariant: the same operation multiset must aggregate
+// to byte-identical Stats totals no matter how many clients performed
+// it. The workload is eviction-free (footprint below capacity,
+// populated up front), so per-key outcomes are order-independent and
+// the totals must match exactly — compared as marshalled JSON bytes.
+func TestStatsByteIdenticalAcrossClientCounts(t *testing.T) {
+	const footprint = 2048
+	keys := make([]Key, footprint)
+	pfns := make([]units.PFN, footprint)
+	for i := range keys {
+		keys[i] = key(1+i%7, i)
+		pfns[i] = SyntheticPFN(keys[i])
+	}
+	lookups := make([]Key, 40_000)
+	rng := rand.New(rand.NewSource(1998))
+	for i := range lookups {
+		lookups[i] = keys[rng.Intn(footprint)]
+	}
+
+	run := func(clients int) []byte {
+		svc, err := New(Config{Shards: 8, Entries: 1024, Ways: 4, IndexOffset: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.InsertMany(keys, pfns)
+		splitWork(clients, len(lookups), func(lo, hi int) {
+			var out []Result
+			for i := lo; i < hi; i += 64 {
+				end := i + 64
+				if end > hi {
+					end = hi
+				}
+				out = svc.LookupMany(lookups[i:end], out)
+				for _, r := range out {
+					if !r.Hit {
+						t.Error("eviction-free workload missed")
+						return
+					}
+				}
+			}
+		})
+		data, err := json.Marshal(svc.Stats())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	base := run(1)
+	for _, k := range []int{2, 8} {
+		if got := run(k); string(got) != string(base) {
+			t.Fatalf("stats diverged between 1 and %d clients:\n%s\nvs\n%s", k, base, got)
+		}
+	}
+}
+
+// Concurrent correctness under -race: workers own disjoint PID spaces,
+// each checking its keys against its own shadow map while sharing the
+// service (and therefore shards and locks) with everyone else.
+func TestConcurrentDisjointShadows(t *testing.T) {
+	svc, err := New(Config{Shards: 4, Entries: 4096, Ways: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			shadow := map[Key]units.PFN{}
+			for i := 0; i < 4000; i++ {
+				k := key(1+w*100+rng.Intn(3), rng.Intn(300))
+				switch rng.Intn(6) {
+				case 0:
+					svc.Insert(k, SyntheticPFN(k))
+					shadow[k] = SyntheticPFN(k)
+				case 1:
+					svc.Invalidate(k)
+					delete(shadow, k)
+				default:
+					r := svc.Lookup(k)
+					want, present := shadow[k]
+					if r.Hit && (!present || r.PFN != want) {
+						errs <- "lookup returned a translation this worker never installed"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+
+	// The shared service stayed coherent: totals still sum.
+	st := svc.Stats()
+	if st.Total.Lookups != st.Total.Hits+st.Total.Misses {
+		t.Fatalf("totals incoherent after concurrent traffic: %+v", st.Total)
+	}
+}

@@ -1,0 +1,72 @@
+package xlate
+
+import (
+	"testing"
+
+	"utlb/internal/units"
+)
+
+// FuzzServiceVsShadow drives an op sequence decoded from raw bytes
+// through a small sharded service and a single shadow map, checking
+// the cache-correctness invariants that survive eviction:
+//
+//   - a hit must return the exact translation the shadow holds;
+//   - a key the shadow does not hold (never inserted, or invalidated
+//     since) must miss — the service can forget, never fabricate;
+//   - totals stay coherent (lookups = hits + misses, occupancy within
+//     capacity).
+//
+// Shard-count edge cases are exercised explicitly: the same sequence
+// runs at 1, 2 and 8 shards against the same shadow.
+func FuzzServiceVsShadow(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc})
+	f.Add([]byte("insert-lookup-invalidate-repeat"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, shards := range []int{1, 2, 8} {
+			svc, err := New(Config{Shards: shards, Entries: 16, Ways: 2, IndexOffset: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			shadow := map[Key]units.PFN{}
+			ops := int64(0)
+			for i := 0; i+2 < len(data); i += 3 {
+				op, pid, vpn := data[i]&3, 1+int(data[i+1]&7), int(data[i+2])
+				k := key(pid, vpn)
+				switch op {
+				case 0: // insert
+					svc.Insert(k, SyntheticPFN(k))
+					shadow[k] = SyntheticPFN(k)
+				case 1: // invalidate
+					svc.Invalidate(k)
+					delete(shadow, k)
+				case 2: // process exit
+					svc.InvalidateProcess(units.ProcID(pid))
+					for sk := range shadow {
+						if sk.PID == units.ProcID(pid) {
+							delete(shadow, sk)
+						}
+					}
+				default: // lookup
+					ops++
+					r := svc.Lookup(k)
+					want, present := shadow[k]
+					if r.Hit && !present {
+						t.Fatalf("shards=%d op %d: hit on %+v the shadow never saw", shards, i, k)
+					}
+					if r.Hit && r.PFN != want {
+						t.Fatalf("shards=%d op %d: %+v -> %d, shadow holds %d", shards, i, k, r.PFN, want)
+					}
+				}
+			}
+			st := svc.Stats()
+			if st.Total.Lookups != ops || st.Total.Lookups != st.Total.Hits+st.Total.Misses {
+				t.Fatalf("shards=%d: lookups=%d (issued %d), hits+misses=%d",
+					shards, st.Total.Lookups, ops, st.Total.Hits+st.Total.Misses)
+			}
+			if cap := int64(shards * 16); st.Total.Occupancy > cap {
+				t.Fatalf("shards=%d: occupancy %d exceeds capacity %d", shards, st.Total.Occupancy, cap)
+			}
+		}
+	})
+}

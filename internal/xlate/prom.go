@@ -1,0 +1,39 @@
+package xlate
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WritePrometheus writes st in Prometheus text exposition format,
+// one sample per shard plus pre-aggregated "all" totals. Output is
+// byte-deterministic: shards in index order, metrics in fixed order.
+// internal/serve appends this block to the simulation metrics on
+// /metrics so the live translation service and the batch experiments
+// share one scrape surface.
+func WritePrometheus(w io.Writer, st Stats) error {
+	bw := bufio.NewWriterSize(w, 1<<12)
+	counter := func(name, help string, v func(Counters) int64) {
+		fmt.Fprintf(bw, "# HELP utlb_xlate_%s_total %s\n", name, help)
+		fmt.Fprintf(bw, "# TYPE utlb_xlate_%s_total counter\n", name)
+		for _, sh := range st.PerShard {
+			fmt.Fprintf(bw, "utlb_xlate_%s_total{shard=\"%d\"} %d\n", name, sh.Shard, v(sh.Counters))
+		}
+		fmt.Fprintf(bw, "utlb_xlate_%s_total{shard=\"all\"} %d\n", name, v(st.Total))
+	}
+	counter("lookups", "Translation-service lookups by shard.", func(c Counters) int64 { return c.Lookups })
+	counter("hits", "Translation-service lookup hits by shard.", func(c Counters) int64 { return c.Hits })
+	counter("misses", "Translation-service lookup misses by shard.", func(c Counters) int64 { return c.Misses })
+	counter("fills", "Translation-service entry installs by shard.", func(c Counters) int64 { return c.Fills })
+	counter("evictions", "Translation-service evictions by shard.", func(c Counters) int64 { return c.Evictions })
+	counter("invalidations", "Translation-service invalidations by shard.", func(c Counters) int64 { return c.Invalidations })
+
+	bw.WriteString("# HELP utlb_xlate_occupancy Valid translation entries by shard.\n")
+	bw.WriteString("# TYPE utlb_xlate_occupancy gauge\n")
+	for _, sh := range st.PerShard {
+		fmt.Fprintf(bw, "utlb_xlate_occupancy{shard=\"%d\"} %d\n", sh.Shard, sh.Occupancy)
+	}
+	fmt.Fprintf(bw, "utlb_xlate_occupancy{shard=\"all\"} %d\n", st.Total.Occupancy)
+	return bw.Flush()
+}

@@ -1,0 +1,303 @@
+package xlate
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"utlb/internal/tlbcache"
+	"utlb/internal/units"
+)
+
+func key(pid, vpn int) Key {
+	return Key{PID: units.ProcID(pid), VPN: units.VPN(vpn)}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Shards: 4, Entries: 64, Ways: 2, IndexOffset: true}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero shards", Config{Shards: 0, Entries: 64, Ways: 2}},
+		{"negative shards", Config{Shards: -2, Entries: 64, Ways: 2}},
+		{"non-power-of-two shards", Config{Shards: 3, Entries: 64, Ways: 2}},
+		{"six shards", Config{Shards: 6, Entries: 64, Ways: 2}},
+		{"bad entries", Config{Shards: 4, Entries: 48, Ways: 2}},
+		{"bad ways", Config{Shards: 4, Entries: 64, Ways: 3}},
+	} {
+		if err := tc.cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.cfg)
+		}
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: New accepted %+v", tc.name, tc.cfg)
+		}
+	}
+}
+
+// A one-shard service is today's behaviour: every operation returns
+// exactly what a bare tlbcache.Cache returns, and the final stats are
+// byte-identical to the cache's own counters.
+func TestOneShardDegeneratesToBareCache(t *testing.T) {
+	cfg := Config{Shards: 1, Entries: 64, Ways: 4, IndexOffset: true}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := tlbcache.New(tlbcache.Config{Entries: 64, Ways: 4, IndexOffset: true})
+
+	rng := rand.New(rand.NewSource(1998))
+	for i := 0; i < 5000; i++ {
+		k := key(1+rng.Intn(6), rng.Intn(300))
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			e1, w1 := svc.Insert(k, SyntheticPFN(k))
+			e2, w2 := bare.Insert(k, SyntheticPFN(k))
+			if e1 != e2 || w1 != w2 {
+				t.Fatalf("op %d: Insert diverged: (%v,%v) vs (%v,%v)", i, e1, w1, e2, w2)
+			}
+		case 3:
+			if g, w := svc.Invalidate(k), bare.Invalidate(k); g != w {
+				t.Fatalf("op %d: Invalidate diverged: %v vs %v", i, g, w)
+			}
+		case 4:
+			pid := units.ProcID(1 + rng.Intn(6))
+			if g, w := svc.InvalidateProcess(pid), bare.InvalidateProcess(pid); g != w {
+				t.Fatalf("op %d: InvalidateProcess diverged: %d vs %d", i, g, w)
+			}
+		default:
+			if g, w := svc.Lookup(k), bare.Lookup(k); g != w {
+				t.Fatalf("op %d: Lookup diverged: %+v vs %+v", i, g, w)
+			}
+		}
+	}
+
+	st := svc.Stats()
+	cs := bare.Stats()
+	want := Counters{
+		Lookups:       cs.Hits + cs.Misses,
+		Hits:          cs.Hits,
+		Misses:        cs.Misses,
+		Fills:         cs.Fills,
+		Evictions:     cs.Evictions,
+		Invalidations: cs.Invalidations,
+		Occupancy:     int64(bare.Occupancy()),
+	}
+	if got := fmt.Sprintf("%+v", st.Total); got != fmt.Sprintf("%+v", want) {
+		t.Fatalf("one-shard totals diverged from bare cache:\n got %s\nwant %+v", got, want)
+	}
+	if len(st.PerShard) != 1 || st.PerShard[0].Counters != want {
+		t.Fatalf("per-shard stats: %+v", st.PerShard)
+	}
+}
+
+// LookupMany must return, position for position, what per-key Lookup
+// returns — on equal services fed equal history, including LRU motion
+// within each shard (both visit a shard's keys in batch order).
+func TestLookupManyMatchesSingleLookups(t *testing.T) {
+	mk := func() *Service {
+		svc, err := New(Config{Shards: 8, Entries: 32, Ways: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 600; i++ {
+			k := key(1+rng.Intn(4), rng.Intn(200))
+			svc.Insert(k, SyntheticPFN(k))
+		}
+		return svc
+	}
+	a, b := mk(), mk()
+
+	rng := rand.New(rand.NewSource(42))
+	var out []Result
+	for batch := 0; batch < 50; batch++ {
+		keys := make([]Key, 1+rng.Intn(64))
+		for i := range keys {
+			keys[i] = key(1+rng.Intn(4), rng.Intn(200))
+		}
+		out = a.LookupMany(keys, out)
+		if len(out) != len(keys) {
+			t.Fatalf("batch %d: %d results for %d keys", batch, len(out), len(keys))
+		}
+		// b performs the same batch as singles, grouped per shard in
+		// the same order LookupMany visits them.
+		want := make([]Result, len(keys))
+		for si := 0; si < b.cfg.Shards; si++ {
+			for i, k := range keys {
+				if b.shardIndex(k) == si {
+					want[i] = b.Lookup(k)
+				}
+			}
+		}
+		for i := range keys {
+			if out[i] != want[i] {
+				t.Fatalf("batch %d key %d (%v): %+v != %+v", batch, i, keys[i], out[i], want[i])
+			}
+		}
+	}
+	if fmt.Sprintf("%+v", a.Stats()) != fmt.Sprintf("%+v", b.Stats()) {
+		t.Fatal("stats diverged between batched and single lookups")
+	}
+}
+
+func TestInsertManyAndInvalidateProcess(t *testing.T) {
+	svc, err := New(Config{Shards: 4, Entries: 256, Ways: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	keys := make([]Key, n)
+	pfns := make([]units.PFN, n)
+	for i := range keys {
+		keys[i] = key(1+i%3, i)
+		pfns[i] = SyntheticPFN(keys[i])
+	}
+	if ev := svc.InsertMany(keys, pfns); ev != 0 {
+		t.Fatalf("insert into empty oversized service evicted %d", ev)
+	}
+	out := svc.LookupMany(keys, nil)
+	for i, r := range out {
+		if !r.Hit || r.PFN != pfns[i] {
+			t.Fatalf("key %d: %+v, want hit pfn %d", i, r, pfns[i])
+		}
+	}
+	dropped := svc.InvalidateProcess(1)
+	want := 0
+	for i := range keys {
+		if keys[i].PID == 1 {
+			want++
+		}
+	}
+	if dropped != want {
+		t.Fatalf("InvalidateProcess dropped %d, want %d", dropped, want)
+	}
+	for i := range keys {
+		r := svc.Lookup(keys[i])
+		if (keys[i].PID == 1) == r.Hit {
+			t.Fatalf("key %+v after process invalidate: hit=%v", keys[i], r.Hit)
+		}
+	}
+}
+
+func TestInsertManyLengthMismatchPanics(t *testing.T) {
+	svc, err := New(Config{Shards: 2, Entries: 16, Ways: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	svc.InsertMany(make([]Key, 2), make([]units.PFN, 3))
+}
+
+func TestSyntheticPFN(t *testing.T) {
+	seen := map[units.PFN]Key{}
+	for pid := 1; pid < 40; pid++ {
+		for vpn := 0; vpn < 200; vpn++ {
+			k := key(pid, vpn)
+			p := SyntheticPFN(k)
+			if p == units.NoPFN {
+				t.Fatalf("SyntheticPFN(%v) = NoPFN", k)
+			}
+			if prev, dup := seen[p]; dup {
+				t.Fatalf("SyntheticPFN collision: %v and %v -> %d", prev, k, p)
+			}
+			seen[p] = k
+		}
+	}
+	if SyntheticPFN(key(3, 17)) != SyntheticPFN(key(3, 17)) {
+		t.Fatal("SyntheticPFN not deterministic")
+	}
+}
+
+// Shard routing must actually spread load: over a uniform key space,
+// no shard should see more than twice the mean.
+func TestShardBalance(t *testing.T) {
+	svc, err := New(Config{Shards: 16, Entries: 16, Ways: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 16)
+	for pid := 1; pid <= 8; pid++ {
+		for vpn := 0; vpn < 4096; vpn++ {
+			counts[svc.shardIndex(key(pid, vpn))]++
+		}
+	}
+	total := 8 * 4096
+	mean := total / 16
+	for i, c := range counts {
+		if c > 2*mean || c < mean/2 {
+			t.Fatalf("shard %d holds %d of %d keys (mean %d): hash is not spreading", i, c, total, mean)
+		}
+	}
+}
+
+func TestStatsTotalsAreShardSums(t *testing.T) {
+	svc, err := New(Config{Shards: 8, Entries: 32, Ways: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		k := key(1+rng.Intn(5), rng.Intn(400))
+		if rng.Intn(3) == 0 {
+			svc.Insert(k, SyntheticPFN(k))
+		} else {
+			svc.Lookup(k)
+		}
+	}
+	st := svc.Stats()
+	var sum Counters
+	for _, sh := range st.PerShard {
+		sum.add(sh.Counters)
+	}
+	if !reflect.DeepEqual(sum, st.Total) {
+		t.Fatalf("Total %+v != shard sum %+v", st.Total, sum)
+	}
+	if st.Total.Lookups != st.Total.Hits+st.Total.Misses {
+		t.Fatalf("Lookups %d != Hits %d + Misses %d", st.Total.Lookups, st.Total.Hits, st.Total.Misses)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	svc, err := New(Config{Shards: 2, Entries: 16, Ways: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(1, 5)
+	svc.Insert(k, SyntheticPFN(k))
+	svc.Lookup(k)
+	svc.Lookup(key(1, 6))
+
+	var a, b strings.Builder
+	if err := WritePrometheus(&a, svc.Stats()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, svc.Stats()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("Prometheus output not byte-deterministic")
+	}
+	for _, want := range []string{
+		`utlb_xlate_lookups_total{shard="all"} 2`,
+		`utlb_xlate_hits_total{shard="all"} 1`,
+		`utlb_xlate_misses_total{shard="all"} 1`,
+		`utlb_xlate_fills_total{shard="all"} 1`,
+		`utlb_xlate_occupancy{shard="all"} 1`,
+		`utlb_xlate_lookups_total{shard="0"}`,
+		`utlb_xlate_lookups_total{shard="1"}`,
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, a.String())
+		}
+	}
+}
