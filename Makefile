@@ -4,12 +4,12 @@ GO ?= go
 # this directory as a build artifact.
 ARTIFACTS ?= artifacts
 
-.PHONY: all check vet lint build test race bench bench-json bench-compare obs-smoke chaos loadtest clean
+.PHONY: all check vet lint build test race bench bench-json bench-compare obs-smoke chaos loadtest telemetry-smoke clean
 
 all: check
 
 # The full local gate: what CI runs, in order.
-check: vet lint build race bench obs-smoke chaos loadtest bench-compare
+check: vet lint build race bench obs-smoke chaos loadtest telemetry-smoke bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -92,6 +92,16 @@ chaos:
 loadtest:
 	$(GO) test -race -run 'TestLoad' ./cmd/utlbload
 	$(GO) test -race ./internal/xlate ./internal/serve
+
+# Live-telemetry smoke: the window-ring/SLO/sampling unit suite and the
+# serve-level live-endpoint tests under -race, plus the hot-path
+# allocation budgets for the translation service (telemetry disabled
+# must stay at zero allocs; always-sampled stays inside its bound).
+# DESIGN.md §13 documents the mechanism.
+telemetry-smoke:
+	$(GO) test -race ./internal/telemetry
+	$(GO) test -race -run 'TestLive|TestTelemetry|TestXlate' ./internal/serve ./internal/xlate
+	$(GO) test -run 'TestXlateLookupAllocBudget' .
 
 clean:
 	$(GO) clean ./...

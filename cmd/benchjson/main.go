@@ -22,10 +22,13 @@
 // independent, so the budget carries no headroom. CI runs this as a
 // blocking step against the committed BENCH_pr6.json.
 //
-// -load renders a human-readable throughput/latency table from the
-// BENCH_load.json document cmd/utlbload writes. Load numbers depend
-// on the machine and network path, so this report is informational
-// and never fails the build.
+// -load validates a BENCH_load.json document (written by cmd/utlbload)
+// and renders a human-readable throughput/latency table, including the
+// server-side SLO verdict when the document carries one. Load numbers
+// depend on the machine and network path, so the numbers themselves
+// never fail the build — but a malformed document (missing fields,
+// inconsistent quantiles, bad SLO section) exits 2 so CI catches a
+// truncated or incompatible file.
 package main
 
 import (
@@ -183,28 +186,97 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (regres
 	return regressed, nil
 }
 
+// loadSLO is the optional per-run SLO section utlbload scrapes from
+// the server's /api/live/slo.
+type loadSLO struct {
+	TargetP99Ns int64   `json:"target_p99_ns"`
+	ErrorBudget float64 `json:"error_budget"`
+	Ops         int64   `json:"ops"`
+	Slow        int64   `json:"slow"`
+	P99Ns       int64   `json:"p99_ns"`
+	BudgetUsed  float64 `json:"budget_used"`
+	Compliant   bool    `json:"compliant"`
+}
+
+// loadRun is one client-count measurement in the document.
+type loadRun struct {
+	Clients       int      `json:"clients"`
+	Lookups       int64    `json:"lookups"`
+	LookupsPerSec float64  `json:"lookups_per_sec"`
+	LatencyP50Ns  int64    `json:"latency_p50_ns"`
+	LatencyP99Ns  int64    `json:"latency_p99_ns"`
+	SLO           *loadSLO `json:"slo"`
+}
+
 // loadDoc is the subset of the BENCH_load.json document (written by
 // cmd/utlbload) the report renders. Unknown fields are ignored so the
-// generator can grow its schema without breaking old reports.
+// generator can grow its schema without breaking old reports, but the
+// fields the report depends on are validated — a malformed document is
+// an error, not a garbled table.
 type loadDoc struct {
-	Addr      string `json:"addr"`
-	Shape     string `json:"shape"`
-	Footprint int    `json:"footprint_pages"`
-	Batch     int    `json:"batch"`
-	Note      string `json:"note,omitempty"`
-	Runs      []struct {
-		Clients       int     `json:"clients"`
-		Lookups       int64   `json:"lookups"`
-		LookupsPerSec float64 `json:"lookups_per_sec"`
-		LatencyP50Ns  int64   `json:"latency_p50_ns"`
-		LatencyP99Ns  int64   `json:"latency_p99_ns"`
-	} `json:"runs"`
+	Addr      string    `json:"addr"`
+	Shape     string    `json:"shape"`
+	Footprint int       `json:"footprint_pages"`
+	Batch     int       `json:"batch"`
+	Note      string    `json:"note,omitempty"`
+	Runs      []loadRun `json:"runs"`
+}
+
+// validate checks the fields the report renders. Every complaint names
+// the offending field so a truncated or hand-edited document fails
+// loudly instead of printing zeros.
+func (d *loadDoc) validate() error {
+	if d.Addr == "" {
+		return fmt.Errorf("missing addr")
+	}
+	if d.Shape == "" {
+		return fmt.Errorf("missing shape")
+	}
+	if d.Footprint <= 0 {
+		return fmt.Errorf("footprint_pages %d not positive", d.Footprint)
+	}
+	if d.Batch <= 0 {
+		return fmt.Errorf("batch %d not positive", d.Batch)
+	}
+	if len(d.Runs) == 0 {
+		return fmt.Errorf("no runs recorded")
+	}
+	for i, r := range d.Runs {
+		if r.Clients <= 0 {
+			return fmt.Errorf("runs[%d]: clients %d not positive", i, r.Clients)
+		}
+		if r.Lookups <= 0 {
+			return fmt.Errorf("runs[%d]: lookups %d not positive", i, r.Lookups)
+		}
+		if r.LookupsPerSec <= 0 {
+			return fmt.Errorf("runs[%d]: lookups_per_sec %g not positive", i, r.LookupsPerSec)
+		}
+		if r.LatencyP50Ns < 0 || r.LatencyP99Ns < 0 {
+			return fmt.Errorf("runs[%d]: negative latency quantile", i)
+		}
+		if r.LatencyP99Ns < r.LatencyP50Ns {
+			return fmt.Errorf("runs[%d]: p99 %d below p50 %d", i, r.LatencyP99Ns, r.LatencyP50Ns)
+		}
+		if s := r.SLO; s != nil {
+			if s.TargetP99Ns <= 0 {
+				return fmt.Errorf("runs[%d].slo: target_p99_ns %d not positive", i, s.TargetP99Ns)
+			}
+			if s.ErrorBudget <= 0 || s.ErrorBudget > 1 {
+				return fmt.Errorf("runs[%d].slo: error_budget %g not in (0, 1]", i, s.ErrorBudget)
+			}
+			if s.Ops < 0 || s.Slow < 0 || s.Slow > s.Ops {
+				return fmt.Errorf("runs[%d].slo: slow %d / ops %d inconsistent", i, s.Slow, s.Ops)
+			}
+		}
+	}
+	return nil
 }
 
 // runLoadReport renders a human-readable table from a BENCH_load.json
-// document. Load numbers depend on the machine and the network path,
-// so this report is informational only — it never fails the build the
-// way -compare does.
+// document, validating the schema first. Load numbers depend on the
+// machine and the network path, so the numbers are informational —
+// but a document missing the fields the report depends on is a hard
+// error (exit 2), so CI catches a truncated or incompatible file.
 func runLoadReport(w io.Writer, path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -214,24 +286,32 @@ func runLoadReport(w io.Writer, path string) error {
 	if err := json.Unmarshal(data, &d); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	if len(d.Runs) == 0 {
-		return fmt.Errorf("%s: no runs recorded", path)
+	if err := d.validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
 	}
 	fmt.Fprintf(w, "load: %s shape=%s footprint=%d batch=%d", d.Addr, d.Shape, d.Footprint, d.Batch)
 	if d.Note != "" {
 		fmt.Fprintf(w, " (%s)", d.Note)
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "%-8s %12s %14s %12s %12s %10s\n", "clients", "lookups", "lookups/sec", "p50", "p99", "scaling")
+	fmt.Fprintf(w, "%-8s %12s %14s %12s %12s %10s %18s\n", "clients", "lookups", "lookups/sec", "p50", "p99", "scaling", "server SLO")
 	base := d.Runs[0].LookupsPerSec
 	for _, r := range d.Runs {
 		scaling := "-"
 		if base > 0 {
 			scaling = fmt.Sprintf("%.2fx", r.LookupsPerSec/base)
 		}
-		fmt.Fprintf(w, "%-8d %12d %14.0f %12s %12s %10s\n",
+		slo := "off"
+		if s := r.SLO; s != nil {
+			verdict := "MISS"
+			if s.Compliant {
+				verdict = "ok"
+			}
+			slo = fmt.Sprintf("%s@%.0f%% %s", time.Duration(s.P99Ns), s.BudgetUsed*100, verdict)
+		}
+		fmt.Fprintf(w, "%-8d %12d %14.0f %12s %12s %10s %18s\n",
 			r.Clients, r.Lookups, r.LookupsPerSec,
-			time.Duration(r.LatencyP50Ns).String(), time.Duration(r.LatencyP99Ns).String(), scaling)
+			time.Duration(r.LatencyP50Ns).String(), time.Duration(r.LatencyP99Ns).String(), scaling, slo)
 	}
 	return nil
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTemp writes content to a temp file and returns its path.
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "load.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodLoadDoc = `{
+  "addr": "http://localhost:8080",
+  "shape": "zipf",
+  "footprint_pages": 4096,
+  "batch": 64,
+  "runs": [
+    {"clients": 1, "lookups": 50000, "lookups_per_sec": 800000,
+     "latency_p50_ns": 70000, "latency_p99_ns": 200000,
+     "slo": {"target_p99_ns": 2000000, "error_budget": 0.01,
+             "ops": 800, "slow": 0, "p99_ns": 60000,
+             "budget_used": 0, "burn_rate": 0, "compliant": true}},
+    {"clients": 8, "lookups": 50000, "lookups_per_sec": 2400000,
+     "latency_p50_ns": 90000, "latency_p99_ns": 400000}
+  ]
+}`
+
+func TestLoadReportRendersGoodDoc(t *testing.T) {
+	var sb strings.Builder
+	if err := runLoadReport(&sb, writeTemp(t, goodLoadDoc)); err != nil {
+		t.Fatalf("runLoadReport: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"shape=zipf", "clients", "server SLO",
+		"3.00x", // 2.4M / 800k scaling
+		"ok",    // the compliant SLO verdict
+		"off",   // the run without an SLO section
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadReportRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"not JSON", `{"addr": `, "unexpected end"},
+		{"missing addr", `{"shape":"zipf","footprint_pages":1,"batch":1,"runs":[{"clients":1,"lookups":1,"lookups_per_sec":1}]}`, "missing addr"},
+		{"missing shape", `{"addr":"x","footprint_pages":1,"batch":1,"runs":[{"clients":1,"lookups":1,"lookups_per_sec":1}]}`, "missing shape"},
+		{"bad footprint", `{"addr":"x","shape":"s","footprint_pages":0,"batch":1,"runs":[{"clients":1,"lookups":1,"lookups_per_sec":1}]}`, "footprint_pages"},
+		{"no runs", `{"addr":"x","shape":"s","footprint_pages":1,"batch":1,"runs":[]}`, "no runs"},
+		{"zero clients", `{"addr":"x","shape":"s","footprint_pages":1,"batch":1,"runs":[{"clients":0,"lookups":1,"lookups_per_sec":1}]}`, "clients"},
+		{"zero rate", `{"addr":"x","shape":"s","footprint_pages":1,"batch":1,"runs":[{"clients":1,"lookups":1,"lookups_per_sec":0}]}`, "lookups_per_sec"},
+		{"inverted quantiles", `{"addr":"x","shape":"s","footprint_pages":1,"batch":1,"runs":[{"clients":1,"lookups":1,"lookups_per_sec":1,"latency_p50_ns":100,"latency_p99_ns":50}]}`, "p99"},
+		{"bad slo target", `{"addr":"x","shape":"s","footprint_pages":1,"batch":1,"runs":[{"clients":1,"lookups":1,"lookups_per_sec":1,"slo":{"target_p99_ns":0,"error_budget":0.01}}]}`, "target_p99_ns"},
+		{"bad slo budget", `{"addr":"x","shape":"s","footprint_pages":1,"batch":1,"runs":[{"clients":1,"lookups":1,"lookups_per_sec":1,"slo":{"target_p99_ns":1,"error_budget":2}}]}`, "error_budget"},
+		{"slow over ops", `{"addr":"x","shape":"s","footprint_pages":1,"batch":1,"runs":[{"clients":1,"lookups":1,"lookups_per_sec":1,"slo":{"target_p99_ns":1,"error_budget":0.5,"ops":1,"slow":2}}]}`, "inconsistent"},
+	}
+	for _, tc := range cases {
+		var sb strings.Builder
+		err := runLoadReport(&sb, writeTemp(t, tc.doc))
+		if err == nil {
+			t.Errorf("%s: runLoadReport accepted a malformed document", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestLoadReportAcceptsCommitted keeps the committed BENCH_load.json
+// inside the schema the validator enforces.
+func TestLoadReportAcceptsCommitted(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_load.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("no committed BENCH_load.json: %v", err)
+	}
+	var sb strings.Builder
+	if err := runLoadReport(&sb, path); err != nil {
+		t.Fatalf("committed BENCH_load.json fails validation: %v", err)
+	}
+}

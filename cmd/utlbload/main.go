@@ -68,6 +68,24 @@ type Run struct {
 	LatencyP99Ns  int64   `json:"latency_p99_ns"`
 	LatencyMaxNs  int64   `json:"latency_max_ns"`
 	LatencyMeanNs int64   `json:"latency_mean_ns"`
+	// SLO is the server's own /api/live/slo report scraped right after
+	// the run: the service-side view of the same traffic (per-shard
+	// segment latency against the configured objective). Absent when
+	// the server runs without live telemetry.
+	SLO *SLO `json:"slo,omitempty"`
+}
+
+// SLO mirrors the serve /api/live/slo payload (field names are the
+// wire contract; benchjson validates them).
+type SLO struct {
+	TargetP99Ns int64   `json:"target_p99_ns"`
+	ErrorBudget float64 `json:"error_budget"`
+	Ops         int64   `json:"ops"`
+	Slow        int64   `json:"slow"`
+	P99Ns       int64   `json:"p99_ns"`
+	BudgetUsed  float64 `json:"budget_used"`
+	BurnRate    float64 `json:"burn_rate"`
+	Compliant   bool    `json:"compliant"`
 }
 
 func main() {
@@ -125,10 +143,21 @@ func run(argv []string, out io.Writer) int {
 			fmt.Fprintln(os.Stderr, "utlbload:", err)
 			return 1
 		}
+		r.SLO, err = gen.scrapeSLO()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "utlbload: SLO scrape failed:", err)
+			return 1
+		}
 		doc.Runs = append(doc.Runs, r)
-		fmt.Fprintf(out, "clients=%-3d lookups=%d hits=%d %10.0f lookups/sec  p50=%s p99=%s max=%s\n",
+		sloNote := "slo=off"
+		if r.SLO != nil {
+			sloNote = fmt.Sprintf("slo_p99=%s budget=%.2f ok=%v",
+				time.Duration(r.SLO.P99Ns), r.SLO.BudgetUsed, r.SLO.Compliant)
+		}
+		fmt.Fprintf(out, "clients=%-3d lookups=%d hits=%d %10.0f lookups/sec  p50=%s p99=%s max=%s  %s\n",
 			r.Clients, r.Lookups, r.Hits, r.LookupsPerSec,
-			time.Duration(r.LatencyP50Ns), time.Duration(r.LatencyP99Ns), time.Duration(r.LatencyMaxNs))
+			time.Duration(r.LatencyP50Ns), time.Duration(r.LatencyP99Ns), time.Duration(r.LatencyMaxNs),
+			sloNote)
 	}
 
 	if *jsonPath != "" {
@@ -298,6 +327,31 @@ func (g *generator) measure(k int) (Run, error) {
 		r.LatencyMeanNs = merged.Sum() / merged.N()
 	}
 	return r, nil
+}
+
+// scrapeSLO reads the server's live SLO report. A 503 means the
+// server runs without telemetry — not an error, just no SLO section.
+func (g *generator) scrapeSLO() (*SLO, error) {
+	resp, err := g.client.Get(g.base + "/api/live/slo")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /api/live/slo: status %d: %.200s", resp.StatusCode, body)
+	}
+	var s SLO
+	if err := json.Unmarshal(body, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
 }
 
 // get issues one GET and decodes the JSON response into v.

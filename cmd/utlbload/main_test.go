@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"utlb/internal/serve"
+	"utlb/internal/xlate"
 )
 
 // TestLoadSmoke drives the full generator path against an in-process
@@ -31,6 +32,40 @@ func TestLoadSmoke(t *testing.T) {
 	}
 	if strings.Contains(out.String(), `"lookups_per_sec": 0,`) {
 		t.Fatalf("zero throughput recorded:\n%s", out.String())
+	}
+	// serve.New() runs with live telemetry, so every run carries the
+	// server-side SLO verdict, in the console line and the document.
+	if !strings.Contains(out.String(), "slo_p99=") {
+		t.Fatalf("console report missing the SLO verdict:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), `"slo": {`) || !strings.Contains(out.String(), `"target_p99_ns"`) {
+		t.Fatalf("JSON document missing the slo section:\n%s", out.String())
+	}
+}
+
+// Against a server without live telemetry the SLO scrape degrades
+// gracefully: the run succeeds and records no slo section.
+func TestLoadNoTelemetry(t *testing.T) {
+	xl, err := xlate.New(xlate.Config{Shards: 2, Entries: 256, Ways: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.NewWith(xl).Handler())
+	defer ts.Close()
+
+	var out strings.Builder
+	code := run([]string{
+		"-addr", ts.URL, "-clients", "1", "-ops", "500",
+		"-footprint", "128", "-batch", "32", "-json", "-",
+	}, &out)
+	if code != 0 {
+		t.Fatalf("run exited %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "slo=off") {
+		t.Fatalf("console report should say slo=off:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), `"slo"`) {
+		t.Fatalf("document has an slo section without server telemetry:\n%s", out.String())
 	}
 }
 

@@ -45,6 +45,7 @@ import (
 	"utlb/internal/obs/analyze"
 	"utlb/internal/parallel"
 	"utlb/internal/serve"
+	"utlb/internal/telemetry"
 	"utlb/internal/trace"
 	"utlb/internal/xlate"
 )
@@ -169,7 +170,10 @@ func run(exp, traceIn string, scale float64, seed int64, apps string, nodes, pin
 
 // serveMain runs the live observability server. The xlate-* flags set
 // the hosted translation service's geometry; the defaults are
-// xlate.DefaultConfig.
+// xlate.DefaultConfig. The telemetry flags configure the live
+// telemetry sink (window ring, request sampling, SLO objective)
+// behind /api/live/*; -telemetry=false turns the whole layer off,
+// restoring the zero-overhead hot path.
 func serveMain(args []string) error {
 	fs := flag.NewFlagSet("utlbsim serve", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:8080", "listen address")
@@ -178,6 +182,13 @@ func serveMain(args []string) error {
 	entries := fs.Int("xlate-entries", def.Entries, "TLB entries per shard (power of two)")
 	ways := fs.Int("xlate-ways", def.Ways, "set associativity per shard (1, 2 or 4)")
 	offset := fs.Bool("xlate-offset", def.IndexOffset, "per-process index offsetting in each shard")
+	telOn := fs.Bool("telemetry", true, "live telemetry: rolling windows, sampled traces, SLO tracking on /api/live/*")
+	telDef := telemetry.DefaultConfig(def.Shards)
+	windowMs := fs.Int64("telemetry-window", telDef.WindowNs/1_000_000, "rolling-window width in milliseconds")
+	windows := fs.Int("telemetry-windows", telDef.Windows, "rolling windows retained (series span = window x windows)")
+	sampleEvery := fs.Int64("sample-every", telDef.SampleEvery, "trace one request in N (0 disables request tracing)")
+	sloP99Us := fs.Int64("slo-p99", telDef.SLOTargetNs/1_000, "latency objective: target p99 in microseconds")
+	sloBudget := fs.Float64("slo-budget", telDef.SLOBudget, "SLO error budget: fraction of ops allowed over target")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -186,6 +197,23 @@ func serveMain(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *telOn {
+		cfg := telemetry.DefaultConfig(*shards)
+		cfg.WindowNs = *windowMs * 1_000_000
+		cfg.Windows = *windows
+		cfg.SampleEvery = *sampleEvery
+		cfg.SLOTargetNs = *sloP99Us * 1_000
+		cfg.SLOBudget = *sloBudget
+		sink, err := telemetry.New(cfg, telemetry.WallClock{})
+		if err != nil {
+			return err
+		}
+		if err := xl.AttachTelemetry(sink); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "utlbsim: live telemetry on (%d x %d ms windows, 1-in-%d sampling, SLO p99 <= %d us @ %.2g budget)\n",
+			cfg.Windows, cfg.WindowNs/1_000_000, cfg.SampleEvery, cfg.SLOTargetNs/1_000, cfg.SLOBudget)
 	}
 	fmt.Fprintf(os.Stderr, "utlbsim: serving observability on http://%s/ (xlate: %d shards x %d entries, %d-way)\n",
 		*addr, *shards, *entries, *ways)

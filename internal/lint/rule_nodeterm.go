@@ -10,13 +10,16 @@ import (
 // be byte-identical at any -parallel width: the simulation core, the
 // experiment engine, the observability pipeline, the workload
 // generators and the fault injector — injected faults are part of
-// experiment output, so the injector is held to the same bar. (cmd/
-// and the fabric plan-RNG are deliberately outside: they either don't
-// feed experiment output or own their seeds explicitly.)
+// experiment output, so the injector is held to the same bar. The
+// telemetry package is audited too: its window ring and SLO math must
+// replay identically under an injected Clock, so the only wall-clock
+// read is the explicitly suppressed WallClock adapter. (cmd/ and the
+// fabric plan-RNG are deliberately outside: they either don't feed
+// experiment output or own their seeds explicitly.)
 var nodetermPkgs = []string{
 	"internal/sim", "internal/core", "internal/vmmc",
 	"internal/experiments", "internal/obs", "internal/workload",
-	"internal/fault",
+	"internal/fault", "internal/telemetry",
 }
 
 // wallClockFuncs are the time-package functions that read or depend on

@@ -1,0 +1,30 @@
+// Package telemetry is a lint fixture: the live-telemetry package is
+// part of the audited determinism surface. Its single sanctioned
+// wall-clock read lives in the WallClock adapter behind an explicit
+// suppression; every other time source must be an injected Clock.
+package telemetry
+
+import "time"
+
+// Clock mirrors the real telemetry.Clock shape.
+type Clock interface {
+	Now() int64
+}
+
+// WallClock is the adapter: the one place a wall-clock read is
+// sanctioned, and it says so.
+type WallClock struct{}
+
+// Now reads the wall clock behind the package's only suppression.
+func (WallClock) Now() int64 {
+	//lint:ignore nodeterm the telemetry clock adapter is the single sanctioned wall-clock read
+	return time.Now().UnixNano()
+}
+
+// stamp reads the wall clock outside the adapter — exactly the leak
+// the audit exists to catch.
+func stamp() int64 {
+	return time.Now().UnixNano() // bad: wall clock outside the Clock adapter
+}
+
+var _ = stamp

@@ -22,6 +22,25 @@ const (
 	numDigestBuckets = (64 - subBits + 1) * subBuckets // 1920
 )
 
+// DigestBuckets is the number of fixed histogram buckets a Digest
+// carries, exported so live collectors (internal/telemetry) can
+// maintain bucket counts with their own concurrency discipline and
+// fold them back into a Digest for quantile math.
+const DigestBuckets = numDigestBuckets
+
+// BucketIndex maps a nanosecond value to its Digest bucket. Negative
+// values clamp to zero, mirroring Add.
+func BucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	return digestIndex(uint64(v))
+}
+
+// BucketValue is the lower bound of bucket idx — the inverse of
+// BucketIndex up to bucket resolution.
+func BucketValue(idx int) int64 { return digestValue(idx) }
+
 // digestIndex maps a value to its bucket. Values below 2*subBuckets
 // get exact buckets; above that, bucket (oct-subBits+1)*32 + the top
 // subBits bits below the leading one.
@@ -53,6 +72,26 @@ func (d *Digest) Add(v int64) {
 	d.counts[digestIndex(uint64(v))]++
 	d.n++
 	d.sum += v
+	if v > d.max {
+		d.max = v
+	}
+}
+
+// AddBucketCount folds count samples that landed in bucket idx into
+// d, as if Add had been called count times with the bucket's lower
+// bound. Sum is bucket-resolution (~3% low); Max rises to the bucket
+// bound only when the new bucket exceeds it, so callers tracking an
+// exact maximum should Merge a digest or clamp afterwards. This is
+// the bridge from externally maintained bucket counts (the telemetry
+// sink's atomic histograms) back into Digest quantile math.
+func (d *Digest) AddBucketCount(idx int, count int64) {
+	if count <= 0 || idx < 0 || idx >= numDigestBuckets {
+		return
+	}
+	v := digestValue(idx)
+	d.counts[idx] += count
+	d.n += count
+	d.sum += v * count
 	if v > d.max {
 		d.max = v
 	}

@@ -87,6 +87,15 @@ const (
 	KindSendRetry    // vmmc: firmware re-send after link death + remap
 	KindLinkDead     // vmmc: link declared dead, command failed
 
+	// Live telemetry (PR 8): sampled request chains from the sharded
+	// translation service. The request span renders on the lib track
+	// (the client-facing edge); per-shard segments render on the cache
+	// track — each shard is a stock tlbcache, so that is literally
+	// where the time goes. No new component: the Chrome tid packs the
+	// component into 3 bits and the 8 existing tracks are the budget.
+	KindXlateReq   // xlate: one sampled service request (lookup/insert batch)
+	KindXlateShard // xlate: one shard's segment of a sampled batch
+
 	numKinds
 )
 
@@ -138,6 +147,8 @@ var kindMetas = [numKinds]kindMeta{
 	KindPinRetry:        {name: "pin_retry", comp: "host", arg: "attempt"},
 	KindSendRetry:       {name: "send_retry", comp: "vmmc", arg: "attempt"},
 	KindLinkDead:        {name: "link_dead", comp: "vmmc", arg: "bytes"},
+	KindXlateReq:        {name: "xlate_req", comp: "lib", span: true, arg: "keys", arg2: "hits"},
+	KindXlateShard:      {name: "xlate_shard", comp: "cache", span: true, arg: "shard", arg2: "keys"},
 }
 
 // componentIDs gives each component track a small stable integer for

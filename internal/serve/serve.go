@@ -13,7 +13,15 @@
 //	GET /api/xlate/insert      install translations (single or batched)
 //	GET /api/xlate/invalidate  drop one translation or a whole process
 //	GET /api/xlate/stats       per-shard and total service counters (JSON)
+//	GET /api/live/series       rolling-window time series of service load (JSON)
+//	GET /api/live/shards       per-shard load/occupancy heatmap (JSON)
+//	GET /api/live/slo          latency SLO position: p99, error budget, burn rate (JSON)
+//	GET /api/live/trace        sampled request chains as a Chrome trace
 //	GET /debug/pprof/          live profiling of the server process
+//
+// The lookup and insert endpoints also accept POST with a JSON body
+// ({"keys":[{"pid":1,"vpn":42,"pfn":7}, ...]}, pfn optional) for
+// batches beyond URL length limits.
 //
 // Query parameters for experiment-running endpoints: exp (required;
 // canonical name or t1-t8/f7-f8 alias), scale, seed, apps
@@ -41,6 +49,7 @@ import (
 	"utlb/internal/obs"
 	"utlb/internal/obs/analyze"
 	"utlb/internal/parallel"
+	"utlb/internal/telemetry"
 	"utlb/internal/workload"
 	"utlb/internal/xlate"
 )
@@ -158,11 +167,16 @@ type Server struct {
 }
 
 // New returns an empty server with the default translation-service
-// geometry.
+// geometry and live telemetry enabled on the wall clock. Callers who
+// need a different sink geometry (or a deterministic clock, as the
+// tests do) build the service themselves and use NewWith.
 func New() *Server {
 	xl, err := xlate.New(xlate.DefaultConfig())
 	if err != nil {
 		panic(err) // DefaultConfig is static and valid
+	}
+	if err := AttachDefaultTelemetry(xl); err != nil {
+		panic(err) // DefaultConfig geometries always agree
 	}
 	return NewWith(xl)
 }
@@ -192,6 +206,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/xlate/insert", s.handleXlateInsert)
 	mux.HandleFunc("/api/xlate/invalidate", s.handleXlateInvalidate)
 	mux.HandleFunc("/api/xlate/stats", s.handleXlateStats)
+	mux.HandleFunc("/api/live/series", s.handleLiveSeries)
+	mux.HandleFunc("/api/live/shards", s.handleLiveShards)
+	mux.HandleFunc("/api/live/slo", s.handleLiveSLO)
+	mux.HandleFunc("/api/live/trace", s.handleLiveTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -296,6 +314,10 @@ const indexHTML = `<!doctype html>
 <li>/api/xlate/lookup?pid=1&amp;vpn=42 or ?keys=1:42,1:43 &mdash; concurrent translation lookups (batched)</li>
 <li>/api/xlate/insert?keys=1:42,1:43 &mdash; install translations (pid:vpn[:pfn] triples)</li>
 <li>/api/xlate/invalidate?pid=1&amp;vpn=42 (or just pid= for process exit)</li>
+<li><a href="/api/live/series">/api/live/series</a> &mdash; rolling-window time series of live service load</li>
+<li><a href="/api/live/shards">/api/live/shards</a> &mdash; per-shard load/occupancy heatmap</li>
+<li><a href="/api/live/slo">/api/live/slo</a> &mdash; latency SLO position (p99, error budget, burn rate)</li>
+<li><a href="/api/live/trace">/api/live/trace</a> &mdash; sampled live request chains (Chrome trace)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> &mdash; live profiles of this server</li>
 </ul>
 <p>The xlate endpoints are served by a sharded concurrent translation
@@ -342,8 +364,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The live translation service shares the scrape surface: its
-	// per-shard counters are appended after the simulation metrics.
+	// per-shard counters are appended after the simulation metrics,
+	// then the telemetry sink's live metrics and the Go runtime's own
+	// health (GC, heap, goroutines) — one scrape tells the whole story.
 	if err := xlate.WritePrometheus(w, s.xl.Stats()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if sink := s.xl.Telemetry(); sink != nil {
+		if err := sink.WritePrometheus(w, sink.Now()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	if err := telemetry.WriteRuntimeMetrics(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

@@ -13,6 +13,7 @@ package serve
 // frame numbers.
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -25,6 +26,60 @@ import (
 // maxBatchKeys bounds one request's batch so a single call cannot
 // hold shard locks for unbounded work.
 const maxBatchKeys = 4096
+
+// maxBodyBytes bounds a POST body: maxBatchKeys keys at a generous
+// ~64 bytes of JSON each.
+const maxBodyBytes = maxBatchKeys * 64
+
+// keyBody is one key in a POST body.
+type keyBody struct {
+	PID uint32  `json:"pid"`
+	VPN uint64  `json:"vpn"`
+	PFN *uint64 `json:"pfn"` // nil → SyntheticPFN
+}
+
+// batchBody is the POST request body for lookup and insert.
+type batchBody struct {
+	Keys []keyBody `json:"keys"`
+}
+
+// parseBody reads a POST JSON batch. Errors are client errors (400):
+// malformed JSON, unknown fields, an empty batch, or one beyond
+// maxBatchKeys.
+func parseBody(r *http.Request) (keys []xlate.Key, pfns []units.PFN, err error) {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var body batchBody
+	if err := dec.Decode(&body); err != nil {
+		return nil, nil, fmt.Errorf("bad JSON body: %v", err)
+	}
+	if len(body.Keys) == 0 {
+		return nil, nil, fmt.Errorf("empty batch (want keys: [{pid, vpn[, pfn]}, ...])")
+	}
+	if len(body.Keys) > maxBatchKeys {
+		return nil, nil, fmt.Errorf("batch of %d keys exceeds limit %d", len(body.Keys), maxBatchKeys)
+	}
+	keys = make([]xlate.Key, len(body.Keys))
+	pfns = make([]units.PFN, len(body.Keys))
+	for i, kb := range body.Keys {
+		keys[i] = xlate.Key{PID: units.ProcID(kb.PID), VPN: units.VPN(kb.VPN)}
+		if kb.PFN != nil {
+			pfns[i] = units.PFN(*kb.PFN)
+		} else {
+			pfns[i] = xlate.SyntheticPFN(keys[i])
+		}
+	}
+	return keys, pfns, nil
+}
+
+// parseRequest reads the request's batch from the POST body or the
+// query string.
+func parseRequest(r *http.Request) (keys []xlate.Key, pfns []units.PFN, err error) {
+	if r.Method == http.MethodPost {
+		return parseBody(r)
+	}
+	return parseKeys(r)
+}
 
 // parseKey reads one pid:vpn[:pfn] triple. withPFN reports whether an
 // explicit frame was present.
@@ -116,7 +171,7 @@ type xlateLookupResponse struct {
 }
 
 func (s *Server) handleXlateLookup(w http.ResponseWriter, r *http.Request) {
-	keys, _, err := parseKeys(r)
+	keys, _, err := parseRequest(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -135,7 +190,7 @@ func (s *Server) handleXlateLookup(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleXlateInsert(w http.ResponseWriter, r *http.Request) {
-	keys, pfns, err := parseKeys(r)
+	keys, pfns, err := parseRequest(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

@@ -1,0 +1,275 @@
+package telemetry
+
+import (
+	"utlb/internal/obs/analyze"
+)
+
+// WindowPoint is one rolling-window sample in the live time series.
+// Closed windows are immutable history; the final point of a series is
+// the still-open current window (Open = true), carrying the deltas
+// accrued so far.
+type WindowPoint struct {
+	Window  int64 `json:"window"`   // window number (monotonic)
+	StartNs int64 `json:"start_ns"` // window start on the sink clock
+	Open    bool  `json:"open,omitempty"`
+
+	Lookups       int64 `json:"lookups"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Inserts       int64 `json:"inserts"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	Ops           int64 `json:"ops"`  // timed shard operations
+	Slow          int64 `json:"slow"` // ops over the SLO target
+	SumNs         int64 `json:"latency_sum_ns"`
+	P50Ns         int64 `json:"latency_p50_ns"`
+	P99Ns         int64 `json:"latency_p99_ns"`
+
+	LookupsPerSec float64 `json:"lookups_per_sec"`
+}
+
+// Series is the /api/live/series payload.
+type Series struct {
+	WindowNs int64         `json:"window_ns"`
+	Windows  int           `json:"windows"`
+	NowNs    int64         `json:"now_ns"`
+	Points   []WindowPoint `json:"points"`
+}
+
+// digestOf builds an analyze.Digest from one bucket-count array.
+func digestOf(hist *[analyze.DigestBuckets]int64) analyze.Digest {
+	var d analyze.Digest
+	for i, c := range hist {
+		d.AddBucketCount(i, c)
+	}
+	return d
+}
+
+// pointOf renders one window (closed or open) as a series point.
+func (t *Sink) pointOf(num int64, tot totals, hist *[analyze.DigestBuckets]int64, open bool, now int64) WindowPoint {
+	p := WindowPoint{
+		Window: num, StartNs: num * t.cfg.WindowNs, Open: open,
+		Lookups: tot.lookups, Hits: tot.hits, Misses: tot.misses,
+		Inserts: tot.inserts, Evictions: tot.evictions,
+		Invalidations: tot.invalidations,
+		Ops:           tot.ops, Slow: tot.slow, SumNs: tot.sumNs,
+	}
+	if tot.ops > 0 {
+		d := digestOf(hist)
+		p.P50Ns = d.Quantile(50)
+		p.P99Ns = d.Quantile(99)
+	}
+	spanNs := t.cfg.WindowNs
+	if open {
+		spanNs = now - p.StartNs
+	}
+	if spanNs > 0 {
+		p.LookupsPerSec = float64(p.Lookups) * 1e9 / float64(spanNs)
+	}
+	return p
+}
+
+// SeriesReport folds the ring up to now and returns the closed
+// windows in order plus the open current window. Deterministic for a
+// given clock and operation history.
+func (t *Sink) SeriesReport(now int64) Series {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.foldLocked(now)
+	sr := Series{WindowNs: t.cfg.WindowNs, Windows: t.cfg.Windows, NowNs: now}
+	wNow := t.lastWin
+	lo := wNow - int64(len(t.ring))
+	for w := lo; w < wNow; w++ {
+		if w < 0 {
+			continue
+		}
+		slot := &t.ring[int(w%int64(len(t.ring)))]
+		if slot.num != w {
+			continue
+		}
+		sr.Points = append(sr.Points, t.pointOf(w, slot.totals, &slot.hist, false, now))
+	}
+	// The open window: cumulative minus the last fold snapshot.
+	var openTot totals
+	openTot.sub(t.cumTotals(), t.lastTot)
+	var openHist [analyze.DigestBuckets]int64
+	for i := range openHist {
+		var c int64
+		for s := range t.shards {
+			c += t.shards[s].hist[i].Load()
+		}
+		openHist[i] = c - t.lastHist[i]
+	}
+	sr.Points = append(sr.Points, t.pointOf(wNow, openTot, &openHist, true, now))
+	return sr
+}
+
+// SLOReport is the /api/live/slo payload: the latency objective and
+// where the service stands against it over the window ring (closed
+// windows in the horizon plus the open window).
+type SLOReport struct {
+	TargetP99Ns int64   `json:"target_p99_ns"`
+	ErrorBudget float64 `json:"error_budget"`
+	WindowNs    int64   `json:"window_ns"`
+	Windows     int     `json:"windows"`
+
+	Ops   int64 `json:"ops"`
+	Slow  int64 `json:"slow"`
+	P99Ns int64 `json:"p99_ns"`
+
+	// BudgetUsed is (slow/ops)/budget over the horizon: 1.0 means the
+	// error budget is exactly spent. BurnRate is the same ratio over
+	// only the most recent closed window — how fast the budget is
+	// burning right now (1.0 = burning exactly at budget).
+	BudgetUsed float64 `json:"budget_used"`
+	BurnRate   float64 `json:"burn_rate"`
+	Compliant  bool    `json:"compliant"`
+}
+
+// SLOCompliant is the compliance predicate: the horizon p99 is at or
+// under target and the error budget is not overspent.
+func (r SLOReport) SLOCompliant() bool {
+	return r.P99Ns <= r.TargetP99Ns && r.BudgetUsed <= 1
+}
+
+// SLOSnapshot folds the ring and evaluates the SLO over it.
+func (t *Sink) SLOSnapshot(now int64) SLOReport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.foldLocked(now)
+	r := SLOReport{
+		TargetP99Ns: t.cfg.SLOTargetNs,
+		ErrorBudget: t.cfg.SLOBudget,
+		WindowNs:    t.cfg.WindowNs,
+		Windows:     t.cfg.Windows,
+	}
+	var hist [analyze.DigestBuckets]int64
+	wNow := t.lastWin
+	var lastClosed *window
+	for w := wNow - int64(len(t.ring)); w < wNow; w++ {
+		if w < 0 {
+			continue
+		}
+		slot := &t.ring[int(w%int64(len(t.ring)))]
+		if slot.num != w {
+			continue
+		}
+		r.Ops += slot.ops
+		r.Slow += slot.slow
+		for i := range hist {
+			hist[i] += slot.hist[i]
+		}
+		lastClosed = slot
+	}
+	// Fold in the open window so "right now" includes in-flight load.
+	var openTot totals
+	openTot.sub(t.cumTotals(), t.lastTot)
+	r.Ops += openTot.ops
+	r.Slow += openTot.slow
+	for i := range hist {
+		var c int64
+		for s := range t.shards {
+			c += t.shards[s].hist[i].Load()
+		}
+		hist[i] += c - t.lastHist[i]
+	}
+	if r.Ops > 0 {
+		d := digestOf(&hist)
+		r.P99Ns = d.Quantile(99)
+		r.BudgetUsed = float64(r.Slow) / float64(r.Ops) / t.cfg.SLOBudget
+	}
+	if lastClosed != nil && lastClosed.ops > 0 {
+		r.BurnRate = float64(lastClosed.slow) / float64(lastClosed.ops) / t.cfg.SLOBudget
+	}
+	r.Compliant = r.SLOCompliant()
+	return r
+}
+
+// ShardSnapshot is one shard's cumulative telemetry: counters plus
+// latency quantiles from its own histogram. LoadPermille is the
+// shard's share of all lookups ×1000 — the load-imbalance heatmap
+// number (125 = a perfectly balanced shard of eight).
+type ShardSnapshot struct {
+	Shard int `json:"shard"`
+
+	Lookups       int64 `json:"lookups"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Inserts       int64 `json:"inserts"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	Ops           int64 `json:"ops"`
+	Slow          int64 `json:"slow"`
+
+	SumNs int64 `json:"latency_sum_ns"`
+	MaxNs int64 `json:"latency_max_ns"`
+	P50Ns int64 `json:"latency_p50_ns"`
+	P95Ns int64 `json:"latency_p95_ns"`
+	P99Ns int64 `json:"latency_p99_ns"`
+
+	LoadPermille int64 `json:"load_permille"`
+}
+
+// ShardSnapshots folds the ring and snapshots every shard's
+// cumulative counters and latency quantiles, in shard order.
+func (t *Sink) ShardSnapshots(now int64) []ShardSnapshot {
+	t.mu.Lock()
+	t.foldLocked(now)
+	t.mu.Unlock()
+	out := make([]ShardSnapshot, len(t.shards))
+	var totalLookups int64
+	for i := range t.shards {
+		s := &t.shards[i]
+		ss := ShardSnapshot{
+			Shard:         i,
+			Lookups:       s.lookups.Load(),
+			Hits:          s.hits.Load(),
+			Misses:        s.misses.Load(),
+			Inserts:       s.inserts.Load(),
+			Evictions:     s.evictions.Load(),
+			Invalidations: s.invalidations.Load(),
+			Ops:           s.ops.Load(),
+			Slow:          s.slow.Load(),
+			SumNs:         s.sumNs.Load(),
+			MaxNs:         s.maxNs.Load(),
+		}
+		if ss.Ops > 0 {
+			var hist [analyze.DigestBuckets]int64
+			for b := range hist {
+				hist[b] = s.hist[b].Load()
+			}
+			d := digestOf(&hist)
+			ss.P50Ns = d.Quantile(50)
+			ss.P95Ns = d.Quantile(95)
+			ss.P99Ns = d.Quantile(99)
+			if ss.MaxNs < ss.P99Ns {
+				ss.MaxNs = ss.P99Ns // bucket-resolution clamp
+			}
+		}
+		totalLookups += ss.Lookups
+		out[i] = ss
+	}
+	if totalLookups > 0 {
+		for i := range out {
+			out[i].LoadPermille = out[i].Lookups * 1000 / totalLookups
+		}
+	}
+	return out
+}
+
+// Totals reports the cumulative service-wide counter set (for tests
+// and coherence checks against xlate.Stats).
+type Totals struct {
+	Lookups, Hits, Misses, Inserts, Evictions, Invalidations int64
+	Ops, Slow, SumNs                                         int64
+}
+
+// TotalsSnapshot sums the per-shard cumulative counters.
+func (t *Sink) TotalsSnapshot() Totals {
+	c := t.cumTotals()
+	return Totals{
+		Lookups: c.lookups, Hits: c.hits, Misses: c.misses,
+		Inserts: c.inserts, Evictions: c.evictions, Invalidations: c.invalidations,
+		Ops: c.ops, Slow: c.slow, SumNs: c.sumNs,
+	}
+}

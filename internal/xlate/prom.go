@@ -35,5 +35,12 @@ func WritePrometheus(w io.Writer, st Stats) error {
 		fmt.Fprintf(bw, "utlb_xlate_occupancy{shard=\"%d\"} %d\n", sh.Shard, sh.Occupancy)
 	}
 	fmt.Fprintf(bw, "utlb_xlate_occupancy{shard=\"all\"} %d\n", st.Total.Occupancy)
+
+	bw.WriteString("# HELP utlb_xlate_capacity Configured translation entries by shard.\n")
+	bw.WriteString("# TYPE utlb_xlate_capacity gauge\n")
+	for _, sh := range st.PerShard {
+		fmt.Fprintf(bw, "utlb_xlate_capacity{shard=\"%d\"} %d\n", sh.Shard, sh.Capacity)
+	}
+	fmt.Fprintf(bw, "utlb_xlate_capacity{shard=\"all\"} %d\n", st.Capacity)
 	return bw.Flush()
 }

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sync"
 
+	"utlb/internal/telemetry"
 	"utlb/internal/tlbcache"
 	"utlb/internal/units"
 )
@@ -82,6 +83,7 @@ type Service struct {
 	cfg    Config
 	mask   uint64
 	shards []shard
+	tel    *telemetry.Sink // nil = live telemetry disabled (the common case)
 }
 
 // New returns a service for cfg.
@@ -115,6 +117,9 @@ func (s *Service) shardIndex(k Key) int {
 
 // Lookup probes the service for k.
 func (s *Service) Lookup(k Key) Result {
+	if s.tel != nil {
+		return s.lookupTel(k)
+	}
 	sh := &s.shards[s.shardIndex(k)]
 	sh.mu.Lock()
 	r := sh.cache.Lookup(k)
@@ -124,6 +129,9 @@ func (s *Service) Lookup(k Key) Result {
 
 // Insert installs k→pfn, evicting within k's shard if needed.
 func (s *Service) Insert(k Key, pfn units.PFN) (evicted Key, wasEvicted bool) {
+	if s.tel != nil {
+		return s.insertTel(k, pfn)
+	}
 	sh := &s.shards[s.shardIndex(k)]
 	sh.mu.Lock()
 	evicted, wasEvicted = sh.cache.Insert(k, pfn)
@@ -133,10 +141,14 @@ func (s *Service) Insert(k Key, pfn units.PFN) (evicted Key, wasEvicted bool) {
 
 // Invalidate removes k if present, reporting whether it was.
 func (s *Service) Invalidate(k Key) bool {
-	sh := &s.shards[s.shardIndex(k)]
+	si := s.shardIndex(k)
+	sh := &s.shards[si]
 	sh.mu.Lock()
 	ok := sh.cache.Invalidate(k)
 	sh.mu.Unlock()
+	if ok && s.tel != nil {
+		s.tel.RecordInvalidations(si, 1, s.tel.Now())
+	}
 	return ok
 }
 
@@ -147,8 +159,12 @@ func (s *Service) InvalidateProcess(pid units.ProcID) int {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		n += sh.cache.InvalidateProcess(pid)
+		dropped := sh.cache.InvalidateProcess(pid)
 		sh.mu.Unlock()
+		if dropped > 0 && s.tel != nil {
+			s.tel.RecordInvalidations(i, int64(dropped), s.tel.Now())
+		}
+		n += dropped
 	}
 	return n
 }
@@ -158,6 +174,9 @@ func (s *Service) InvalidateProcess(pid units.ProcID) int {
 // once per batch, however the keys interleave — the amortisation that
 // makes bulk lookups cheap. out[i] corresponds to keys[i].
 func (s *Service) LookupMany(keys []Key, out []Result) []Result {
+	if s.tel != nil {
+		return s.lookupManyTel(keys, out)
+	}
 	if cap(out) < len(keys) {
 		out = make([]Result, len(keys))
 	}
@@ -188,6 +207,9 @@ func (s *Service) LookupMany(keys []Key, out []Result) []Result {
 func (s *Service) InsertMany(keys []Key, pfns []units.PFN) int {
 	if len(keys) != len(pfns) {
 		panic(fmt.Sprintf("xlate: InsertMany with %d keys but %d pfns", len(keys), len(pfns)))
+	}
+	if s.tel != nil {
+		return s.insertManyTel(keys, pfns)
 	}
 	evictions := 0
 	for si := range s.shards {
@@ -248,9 +270,15 @@ func (c *Counters) add(other Counters) {
 	c.Occupancy += other.Occupancy
 }
 
-// ShardStats is one shard's counters, tagged with its index.
+// ShardStats is one shard's counters, tagged with its index, plus the
+// shard's fill level: Capacity is the configured entry count and
+// OccupancyPermille is Occupancy/Capacity ×1000 (integer math, so the
+// value is exact and byte-stable in JSON) — the number a load heatmap
+// reads directly.
 type ShardStats struct {
-	Shard int `json:"shard"`
+	Shard             int   `json:"shard"`
+	Capacity          int64 `json:"capacity"`
+	OccupancyPermille int64 `json:"occupancy_permille"`
 	Counters
 }
 
@@ -264,6 +292,7 @@ type Stats struct {
 	Shards   int          `json:"shards"`
 	Entries  int          `json:"entries_per_shard"`
 	Ways     int          `json:"ways"`
+	Capacity int64        `json:"capacity"` // Shards*Entries, the aggregate reach
 	PerShard []ShardStats `json:"per_shard"`
 	Total    Counters     `json:"total"`
 }
@@ -274,6 +303,7 @@ func (s *Service) Stats() Stats {
 		Shards:   s.cfg.Shards,
 		Entries:  s.cfg.Entries,
 		Ways:     s.cfg.Ways,
+		Capacity: int64(s.cfg.Shards) * int64(s.cfg.Entries),
 		PerShard: make([]ShardStats, len(s.shards)),
 	}
 	for i := range s.shards {
@@ -283,7 +313,8 @@ func (s *Service) Stats() Stats {
 		occ := sh.cache.Occupancy()
 		sh.mu.Unlock()
 		st.PerShard[i] = ShardStats{
-			Shard: i,
+			Shard:    i,
+			Capacity: int64(s.cfg.Entries),
 			Counters: Counters{
 				Lookups:       cs.Hits + cs.Misses,
 				Hits:          cs.Hits,
@@ -293,6 +324,9 @@ func (s *Service) Stats() Stats {
 				Invalidations: cs.Invalidations,
 				Occupancy:     int64(occ),
 			},
+		}
+		if st.PerShard[i].Capacity > 0 {
+			st.PerShard[i].OccupancyPermille = int64(occ) * 1000 / st.PerShard[i].Capacity
 		}
 		st.Total.add(st.PerShard[i].Counters)
 	}

@@ -13,8 +13,10 @@ import (
 	"testing"
 
 	"utlb"
+	"utlb/internal/telemetry"
 	"utlb/internal/tlbcache"
 	"utlb/internal/units"
+	"utlb/internal/xlate"
 )
 
 // measureAllocs runs op in a benchmark and reports its allocs/op.
@@ -122,6 +124,93 @@ func TestTLBCacheLookupFillAllocBudget(t *testing.T) {
 		t.Errorf("tlbcache.Insert allocates %d/op on a full cache, budget 0", inserts)
 	}
 	t.Logf("tlbcache: lookup %d allocs/op, insert-with-evict %d allocs/op", lookups, inserts)
+}
+
+// TestXlateLookupAllocBudget pins the translation service's single-key
+// lookup at zero allocations in all three telemetry states:
+//
+//   - telemetry disabled (nil sink): the baseline hot path, where the
+//     entire telemetry surface must cost one pointer compare;
+//   - telemetry enabled, request not sampled: lock-free atomic counter
+//     and histogram updates only;
+//   - telemetry enabled with sampling off entirely (SampleEvery 0).
+//
+// Only sampled requests may allocate (they build an event chain), which
+// the fourth case bounds separately.
+func TestXlateLookupAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a benchmark")
+	}
+	newService := func() *xlate.Service {
+		s, err := xlate.New(xlate.Config{Shards: 4, Entries: 256, Ways: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := units.VPN(0); v < 512; v++ {
+			s.Insert(xlate.Key{PID: 1, VPN: v}, units.PFN(v))
+		}
+		return s
+	}
+	lookupAllocs := func(s *xlate.Service) int64 {
+		return measureAllocs(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Lookup(xlate.Key{PID: 1, VPN: units.VPN(i % 1024)})
+			}
+		})
+	}
+	// A wide window and a tiny manual-clock tick keep the ring from
+	// rotating mid-measurement; rotation is rare and amortised, not part
+	// of the per-op budget.
+	newSink := func(sampleEvery int64) *telemetry.Sink {
+		clk := telemetry.NewManualClock(0)
+		clk.SetTick(1)
+		sink, err := telemetry.New(telemetry.Config{
+			Shards: 4, WindowNs: 1 << 62, Windows: 4,
+			SampleEvery: sampleEvery, MaxTraces: 8,
+			SLOTargetNs: 1_000_000, SLOBudget: 0.01,
+		}, clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sink
+	}
+
+	disabled := newService()
+	if got := lookupAllocs(disabled); got > 0 {
+		t.Errorf("telemetry-disabled Lookup allocates %d/op, budget 0", got)
+	}
+
+	unsampled := newService()
+	if err := unsampled.AttachTelemetry(newSink(1 << 40)); err != nil {
+		t.Fatal(err)
+	}
+	if got := lookupAllocs(unsampled); got > 0 {
+		t.Errorf("telemetry-enabled unsampled Lookup allocates %d/op, budget 0", got)
+	}
+
+	noSampling := newService()
+	if err := noSampling.AttachTelemetry(newSink(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := lookupAllocs(noSampling); got > 0 {
+		t.Errorf("telemetry-enabled SampleEvery=0 Lookup allocates %d/op, budget 0", got)
+	}
+
+	// Sampling every request is the worst case: each lookup builds and
+	// retains a trace chain. The chain is one Trace and one small event
+	// slice; the budget leaves headroom but catches a per-key or
+	// per-event allocation creeping in.
+	sampled := newService()
+	if err := sampled.AttachTelemetry(newSink(1)); err != nil {
+		t.Fatal(err)
+	}
+	const sampledBudget = 8
+	if got := lookupAllocs(sampled); got > sampledBudget {
+		t.Errorf("always-sampled Lookup allocates %d/op, budget %d", got, sampledBudget)
+	} else {
+		t.Logf("always-sampled Lookup: %d allocs/op (budget %d)", got, sampledBudget)
+	}
 }
 
 // TestGenerateCachedAllocBudget pins the memoised trace path at zero:
