@@ -4,7 +4,7 @@ GO ?= go
 # this directory as a build artifact.
 ARTIFACTS ?= artifacts
 
-.PHONY: all check vet lint build test race bench bench-json bench-compare obs-smoke chaos loadtest telemetry-smoke clean
+.PHONY: all check vet lint lint-json build test race race-concurrency bench bench-json bench-compare obs-smoke chaos loadtest telemetry-smoke clean
 
 all: check
 
@@ -15,11 +15,22 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis (internal/lint via cmd/utlblint):
-# determinism, obs-safety, units-hygiene, goroutine-discipline and
-# printf-purity. Blocking in CI; see DESIGN.md §9 for the rules and
-# the //lint:ignore suppression syntax.
+# the five per-file rules (determinism, obs-safety, units-hygiene,
+# goroutine-discipline, printf-purity; DESIGN.md §9) plus the four
+# summary-based interprocedural rules (lockdiscipline, atomichygiene,
+# allocstatic, staleignore; DESIGN.md §14). Blocking in CI. Timing
+# budget: the whole run — compile included — must finish inside 60s
+# on the 1-CPU CI container (a warm run takes well under a second;
+# the timeout is the canary for an accidental fixpoint blow-up).
 lint:
-	$(GO) run ./cmd/utlblint ./...
+	timeout 60 $(GO) run ./cmd/utlblint ./...
+
+# Machine-readable findings for CI annotations. The redirect (not a
+# pipe) preserves utlblint's exit status, so the artifact exists even
+# when the gate fails — that is exactly when it is wanted.
+lint-json:
+	mkdir -p $(ARTIFACTS)
+	timeout 60 $(GO) run ./cmd/utlblint -json ./... > $(ARTIFACTS)/lint.json
 
 build:
 	$(GO) build ./...
@@ -29,6 +40,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused -race pass over the paths the lockdiscipline rule reasons
+# about: the sharded translation service, the telemetry fold/trace
+# paths and the serve single-flight/runMu paths. A subset of `race`,
+# kept separate so the lint job can run it quickly next to the static
+# analysis it backstops.
+race-concurrency:
+	$(GO) test -race -count=1 ./internal/telemetry ./internal/xlate ./internal/serve
 
 # Short benchmark smoke: one iteration of each tracked benchmark, just
 # to prove they still compile and run. Real numbers: see BENCH_baseline.json.

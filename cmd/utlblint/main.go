@@ -9,6 +9,7 @@
 //
 //	utlblint [packages]     # ./... by default; ./internal/... narrows
 //	utlblint -list          # describe the rules
+//	utlblint -json [pkgs]   # machine-readable findings for CI annotations
 //
 // Findings print as path:line:col: rule: message. Intentional
 // violations are suppressed in the source with
@@ -19,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,8 +32,9 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the registered rules and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (exit status unchanged)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: utlblint [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: utlblint [-list] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -64,10 +67,49 @@ func main() {
 	findings := lint.LintProgram(prog, rules)
 	findings = filterByPatterns(findings, prog, cwd, patterns)
 
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, findings, cwd); err != nil {
+			fatal(err)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "utlblint: %d finding(s)\n", len(findings))
+			os.Exit(1)
+		}
+		return
+	}
 	if n := lint.WriteFindings(os.Stdout, findings, cwd); n > 0 {
 		fmt.Fprintf(os.Stderr, "utlblint: %d finding(s)\n", n)
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the CI-annotation shape: one object per finding with
+// the path rebased to the invocation directory.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// writeJSON emits the findings as a JSON array (never null: an empty
+// run produces []), matching the text output's path rebasing so both
+// modes agree line for line.
+func writeJSON(w *os.File, findings []lint.Finding, base string) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = filepath.ToSlash(rel)
+		}
+		out = append(out, jsonFinding{
+			File: name, Line: f.Pos.Line, Col: f.Pos.Column, Rule: f.Rule, Msg: f.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func fatal(err error) {

@@ -147,6 +147,10 @@ func (m *Mechanism) Translate(pid units.ProcID, vpn units.VPN) (units.PFN, error
 	// Miss: interrupt the host; the handler pins and installs.
 	var pfn units.PFN
 	t0 := m.host.Clock().Now()
+	// The miss path pays a simulated host interrupt (microseconds of
+	// model time); the handler thunk's allocation is part of that cost
+	// and counted by the SimulateWith runtime alloc budget.
+	//lint:ignore allocstatic interrupt thunk runs only on the miss path, which already pays a host interrupt; inside the runtime alloc budget
 	err := m.host.Interrupt(func() error {
 		var herr error
 		pfn, herr = m.handleMiss(st, key)

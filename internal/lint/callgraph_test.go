@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// loadFlow loads the callgraph fixture and returns its analysis.
+func loadFlow(t *testing.T) *analysis {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "callgraph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.analysis()
+}
+
+// edge reports whether the graph has an edge from → to of the given
+// kind.
+func hasEdge(a *analysis, from, to string, kind EdgeKind) bool {
+	n := a.graph.ByID[from]
+	if n == nil {
+		return false
+	}
+	for _, e := range n.Calls {
+		if e.Callee != nil && e.Callee.ID == to && e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCallgraphRecursion(t *testing.T) {
+	a := loadFlow(t)
+	if !hasEdge(a, "utlb/internal/flow.Even", "utlb/internal/flow.Odd", EdgeCall) {
+		t.Error("missing Even → Odd call edge")
+	}
+	if !hasEdge(a, "utlb/internal/flow.Odd", "utlb/internal/flow.Even", EdgeCall) {
+		t.Error("missing Odd → Even call edge")
+	}
+	// The mutual recursion must converge with neither blocking.
+	for _, id := range []string{"utlb/internal/flow.Even", "utlb/internal/flow.Odd"} {
+		if blocks, why, _ := a.graph.ByID[id].Summary(); blocks {
+			t.Errorf("%s blocks (%s); recursion should be effect-free", id, why)
+		}
+	}
+}
+
+func TestCallgraphInterfaceDispatch(t *testing.T) {
+	a := loadFlow(t)
+	for _, impl := range []string{
+		"utlb/internal/flow.ChanWaiter.Await",
+		"utlb/internal/flow.NopWaiter.Await",
+	} {
+		if !hasEdge(a, "utlb/internal/flow.Dispatch", impl, EdgeIface) {
+			t.Errorf("missing Dispatch → %s dispatch edge", impl)
+		}
+	}
+	// ChanWaiter.Await blocks directly; Dispatch inherits it through
+	// the dispatch edge.
+	if blocks, _, _ := a.graph.ByID["utlb/internal/flow.ChanWaiter.Await"].Summary(); !blocks {
+		t.Error("ChanWaiter.Await's summary does not block")
+	}
+	if blocks, why, _ := a.graph.ByID["utlb/internal/flow.Dispatch"].Summary(); !blocks {
+		t.Error("Dispatch's summary does not block; dispatch propagation broken")
+	} else if why == "" {
+		t.Error("Dispatch blocks with no recorded reason")
+	}
+	if blocks, _, _ := a.graph.ByID["utlb/internal/flow.NopWaiter.Await"].Summary(); blocks {
+		t.Error("NopWaiter.Await's summary blocks; it is empty")
+	}
+}
+
+func TestCallgraphMethodValue(t *testing.T) {
+	a := loadFlow(t)
+	if !hasEdge(a, "utlb/internal/flow.Handle", "utlb/internal/flow.ChanWaiter.Await", EdgeRef) {
+		t.Error("missing Handle → ChanWaiter.Await reference edge")
+	}
+	// Reference edges propagate blocking conservatively.
+	if blocks, _, _ := a.graph.ByID["utlb/internal/flow.Handle"].Summary(); !blocks {
+		t.Error("Handle's summary does not block; reference propagation broken")
+	}
+}
+
+func TestCallgraphGoroutineCut(t *testing.T) {
+	a := loadFlow(t)
+	// The go statement's body belongs to the spawned goroutine, not
+	// the spawner: no edge, no blocking.
+	if hasEdge(a, "utlb/internal/flow.Spawned", "utlb/internal/flow.ChanWaiter.Await", EdgeCall) ||
+		hasEdge(a, "utlb/internal/flow.Spawned", "utlb/internal/flow.ChanWaiter.Await", EdgeRef) {
+		t.Error("Spawned has an edge into its goroutine body")
+	}
+	if blocks, why, _ := a.graph.ByID["utlb/internal/flow.Spawned"].Summary(); blocks {
+		t.Errorf("Spawned blocks (%s); goroutine bodies must not leak into the spawner's summary", why)
+	}
+}

@@ -58,6 +58,10 @@ func Rules() []Rule {
 		ruleObsSafety(),
 		rulePrintf(),
 		ruleUnits(),
+		ruleLockDiscipline(),
+		ruleAtomicHygiene(),
+		ruleAllocStatic(),
+		ruleStaleIgnore(),
 	}
 	sort.Slice(rules, func(i, j int) bool { return rules[i].Name < rules[j].Name })
 	return rules
@@ -73,17 +77,21 @@ func ruleNames(rules []Rule) map[string]bool {
 	return names
 }
 
-// suppression is one parsed //lint:ignore directive.
+// suppression is one parsed //lint:ignore directive. The same
+// suppression value is shared between the two lines it covers, so
+// marking it used from either line sticks — the staleignore pass
+// reports the ones that never fired.
 type suppression struct {
 	rule   string
 	reason string
 	pos    token.Position
+	used   bool
 }
 
 // suppressions maps file name → line → directives covering that line.
 // A directive covers its own line (trailing comment) and the next line
 // (comment above the statement).
-type suppressions map[string]map[int][]suppression
+type suppressions map[string]map[int][]*suppression
 
 // collectSuppressions parses every //lint:ignore comment in pkg.
 // Malformed directives (missing rule or reason, or an unknown rule
@@ -120,10 +128,10 @@ func collectSuppressions(pkg *Package, valid map[string]bool) (suppressions, []F
 				}
 				byLine := sup[pos.Filename]
 				if byLine == nil {
-					byLine = map[int][]suppression{}
+					byLine = map[int][]*suppression{}
 					sup[pos.Filename] = byLine
 				}
-				s := suppression{rule: rule, reason: reason, pos: pos}
+				s := &suppression{rule: rule, reason: reason, pos: pos}
 				byLine[pos.Line] = append(byLine[pos.Line], s)
 				byLine[pos.Line+1] = append(byLine[pos.Line+1], s)
 			}
@@ -132,14 +140,48 @@ func collectSuppressions(pkg *Package, valid map[string]bool) (suppressions, []F
 	return sup, bad
 }
 
-// covers reports whether a directive for f.Rule covers f.Pos.
+// covers reports whether a directive for f.Rule covers f.Pos, marking
+// the directive used so the staleignore pass can spot dead ones.
 func (s suppressions) covers(f Finding) bool {
+	return s.coversExcept(f, nil)
+}
+
+// coversExcept is covers with one directive excluded from matching —
+// the staleignore pass uses it so a "//lint:ignore staleignore" can
+// never suppress the finding about its own deadness.
+func (s suppressions) coversExcept(f Finding, except *suppression) bool {
+	hit := false
 	for _, d := range s[f.Pos.Filename][f.Pos.Line] {
-		if d.rule == f.Rule {
-			return true
+		if d != except && d.rule == f.Rule {
+			d.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// directives returns every distinct directive in s, sorted by
+// position.
+func (s suppressions) directives() []*suppression {
+	seen := map[*suppression]bool{}
+	var out []*suppression
+	for _, byLine := range s {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				if !seen[d] {
+					seen[d] = true
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos.Filename != out[j].pos.Filename {
+			return out[i].pos.Filename < out[j].pos.Filename
+		}
+		return out[i].pos.Line < out[j].pos.Line
+	})
+	return out
 }
 
 // LintProgram runs rules over every package of prog and returns the
@@ -154,6 +196,29 @@ func LintProgram(prog *Program, rules []Rule) []Finding {
 			for _, f := range r.Check(prog, pkg) {
 				if !sup.covers(f) {
 					out = append(out, f)
+				}
+			}
+		}
+		// staleignore: every well-formed directive that suppressed
+		// nothing above is dead. The finding lands on the directive's
+		// own line, so a //lint:ignore staleignore <why> immediately
+		// above (or trailing on the same line) can keep it — but a
+		// directive never vouches for itself. Ordinary directives are
+		// judged first so that keeping one marks its staleignore
+		// keeper used before the keeper itself is judged.
+		if valid["staleignore"] {
+			for _, phase := range []bool{false, true} {
+				for _, d := range sup.directives() {
+					if d.used || (d.rule == "staleignore") != phase {
+						continue
+					}
+					f := Finding{
+						Rule: "staleignore", Pos: d.pos,
+						Msg: fmt.Sprintf("//lint:ignore %s suppresses no finding; delete it or restore the contract it documents", d.rule),
+					}
+					if !sup.coversExcept(f, d) {
+						out = append(out, f)
+					}
 				}
 			}
 		}

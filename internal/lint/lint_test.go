@@ -15,7 +15,10 @@ var update = flag.Bool("update", false, "rewrite the golden files")
 // is loaded as its own module (named utlb, so package-path-scoped
 // rules fire) and linted with the full rule set; the formatted
 // findings must match testdata/<name>.golden byte for byte.
-var fixtures = []string{"goroutine", "nodeterm", "obssafety", "printfpurity", "unitshygiene"}
+var fixtures = []string{
+	"allocstatic", "atomichygiene", "goroutine", "lockdiscipline",
+	"nodeterm", "obssafety", "printfpurity", "staleignore", "unitshygiene",
+}
 
 func lintFixture(t *testing.T, name string) (*Program, []Finding) {
 	t.Helper()
@@ -176,6 +179,75 @@ func repoRoot(t *testing.T) string {
 			t.Fatalf("no go.mod above %s", dir)
 		}
 		d = parent
+	}
+}
+
+// TestRuleSetComplete pins the full rule roster: five original rules
+// plus the four summary-based ones. A rule silently dropped from
+// Rules() would otherwise fail only when its fixture golden drifted.
+func TestRuleSetComplete(t *testing.T) {
+	want := []string{
+		"allocstatic", "atomichygiene", "goroutine", "lockdiscipline",
+		"nodeterm", "obssafety", "printfpurity", "staleignore", "unitshygiene",
+	}
+	rules := Rules()
+	if len(rules) != len(want) {
+		t.Fatalf("Rules() has %d rules, want %d", len(rules), len(want))
+	}
+	for i, r := range rules {
+		if r.Name != want[i] {
+			t.Errorf("rule %d = %q, want %q", i, r.Name, want[i])
+		}
+		if r.Doc == "" {
+			t.Errorf("rule %q has no doc line", r.Name)
+		}
+	}
+}
+
+// TestInterproceduralRepoCoverage asserts the summary-based rules
+// actually see the repo's concurrent packages: the call graph must
+// contain the hot entry points and the serving path, and the lock
+// classes must include the mutexes the lockdiscipline rule audits.
+func TestInterproceduralRepoCoverage(t *testing.T) {
+	prog, err := Load(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Building the analysis happens lazily inside LintProgram; force
+	// it the same way the rules do.
+	a := prog.analysis()
+	for _, id := range []string{
+		"utlb.SimulateWith",
+		"utlb/internal/tlbcache.Cache.Lookup",
+		"utlb/internal/tlbcache.Cache.Insert",
+		"utlb/internal/xlate.Service.LookupMany",
+		"utlb/internal/serve.Server.run",
+		"utlb/internal/parallel.Map",
+	} {
+		if a.graph.ByID[id] == nil {
+			t.Errorf("call graph is missing %s", id)
+		}
+	}
+	if n := a.graph.ByID["utlb/internal/parallel.Map"]; n != nil && !n.sum.blocks {
+		t.Errorf("parallel.Map's summary does not block (wg.Wait missed)")
+	}
+	if n := a.graph.ByID["utlb/internal/serve.Server.get"]; n != nil && !n.sum.blocks {
+		t.Errorf("serve.Server.get's summary does not block (single-flight <-f.done missed)")
+	}
+	classSet := map[string]bool{}
+	for _, class := range a.classes {
+		classSet[class] = true
+	}
+	for _, want := range []string{
+		"utlb/internal/serve.Server.mu",
+		"utlb/internal/serve.Server.runMu",
+		"utlb/internal/xlate.shard.mu",
+		"utlb/internal/telemetry.Sink.mu",
+		"utlb/internal/workload.traceMu",
+	} {
+		if !classSet[want] {
+			t.Errorf("lock classes missing %s (have %d classes)", want, len(classSet))
+		}
 	}
 }
 

@@ -1,0 +1,278 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ruleLockDiscipline enforces the two invariants that keep the
+// concurrent serving path safe:
+//
+//  1. No classed mutex (a shard lock, serve.Server.mu, a package
+//     traceMu, ...) may be held across a blocking operation — a
+//     channel send/receive, a select, network I/O, time.Sleep, an
+//     external Wait, or a call whose effect summary says it may
+//     block. A lock held across a block turns every other contender
+//     into a convoy, and on the single-flight path it deadlocks.
+//
+//  2. Lock acquisition order must be globally acyclic: if any
+//     function acquires B while holding A, no function anywhere may
+//     acquire A while holding B (directly or through calls).
+//
+// The analysis is a linear source-order scan per function: lock and
+// unlock events, blocking operations, and calls (with their callee
+// summaries) are replayed against a held-lock multiset. Deferred
+// statements contribute their events at function exit, goroutine
+// bodies are scanned as independent scopes, and unlocks of locks not
+// known to be held are ignored (branch-heavy code clamps at zero
+// rather than going negative). The scan is intentionally flow-
+// insensitive across branches — if on any syntactic path a lock is
+// held at a blocking operation, the pattern is worth rewriting even
+// when a cleverer analysis could prove it safe.
+func ruleLockDiscipline() Rule {
+	return Rule{
+		Name: "lockdiscipline",
+		Doc:  "a classed mutex may not be held across a blocking operation, and lock acquisition order must be acyclic",
+		Check: func(prog *Program, pkg *Package) []Finding {
+			a := prog.analysis()
+			if a.lockFindings == nil {
+				a.lockFindings = computeLockFindings(prog, a)
+			}
+			return a.lockFindings[pkg.ImportPath]
+		},
+	}
+}
+
+// lockEvent is one step of the replay: an acquire/release of a
+// class, a direct blocking operation, or a call with a summary.
+type lockEvent struct {
+	kind   int // evLock, evUnlock, evBlock, evCall
+	class  string
+	pos    token.Pos
+	why    string
+	callee *FuncNode
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evBlock
+	evCall
+)
+
+// orderEdge records "to was acquired while from was held", with the
+// acquisition site as witness.
+type orderEdge struct {
+	from, to string
+	pos      token.Pos
+	pkg      *Package
+}
+
+// computeLockFindings runs the replay over every function, collects
+// blocking-under-lock findings and the global lock-order graph, then
+// reports every edge that participates in an order cycle.
+func computeLockFindings(prog *Program, a *analysis) map[string][]Finding {
+	findings := map[string][]Finding{}
+	var edges []orderEdge
+	for _, n := range a.graph.sortedNodes() {
+		scopes := [][]lockEvent{}
+		root := collectLockEvents(n, a, &scopes)
+		for _, events := range append([][]lockEvent{root}, scopes...) {
+			fs, es := replayEvents(n, events)
+			findings[n.Pkg.ImportPath] = append(findings[n.Pkg.ImportPath], fs...)
+			edges = append(edges, es...)
+		}
+	}
+	for _, f := range cycleFindings(edges) {
+		findings[f.pkg.ImportPath] = append(findings[f.pkg.ImportPath], f.f)
+	}
+	return findings
+}
+
+// collectLockEvents walks n's body in source order producing the
+// event list. Defer subtrees are appended at the end (they run at
+// function exit); go-statement subtrees are collected into scopes and
+// replayed independently (their blocking belongs to the spawned
+// goroutine, but their lock ordering still feeds the global graph).
+func collectLockEvents(n *FuncNode, a *analysis, scopes *[][]lockEvent) []lockEvent {
+	pkg := n.Pkg
+	edgeAt := map[token.Pos][]*FuncNode{}
+	for _, e := range n.Calls {
+		if e.Kind != EdgeRef {
+			edgeAt[e.Pos] = append(edgeAt[e.Pos], e.Callee)
+		}
+	}
+	var scan func(root ast.Node) []lockEvent
+	scan = func(root ast.Node) []lockEvent {
+		var events, deferred []lockEvent
+		skip := map[ast.Node]bool{}
+		ast.Inspect(root, func(x ast.Node) bool {
+			if x == nil || skip[x] {
+				return x == nil
+			}
+			switch x := x.(type) {
+			case *ast.GoStmt:
+				*scopes = append(*scopes, scan(x.Call))
+				return false
+			case *ast.DeferStmt:
+				deferred = append(deferred, scan(x.Call)...)
+				return false
+			case *ast.CallExpr:
+				if class, acquire, ok := lockSite(pkg, a.classes, x); ok {
+					kind := evUnlock
+					if acquire {
+						kind = evLock
+					}
+					events = append(events, lockEvent{kind: kind, class: class, pos: x.Pos()})
+					return false
+				}
+				if why, ok := directBlock(pkg, x); ok {
+					events = append(events, lockEvent{kind: evBlock, pos: x.Pos(), why: why})
+					return true
+				}
+				for _, callee := range edgeAt[x.Pos()] {
+					events = append(events, lockEvent{kind: evCall, pos: x.Pos(), callee: callee})
+				}
+				return true
+			default:
+				if why, ok := directBlock(pkg, x); ok {
+					events = append(events, lockEvent{kind: evBlock, pos: x.Pos(), why: why})
+				}
+			}
+			return true
+		})
+		return append(events, deferred...)
+	}
+	return scan(n.Decl.Body)
+}
+
+// replayEvents simulates the event list against a held-lock multiset,
+// producing blocking-under-lock findings and lock-order edges.
+func replayEvents(n *FuncNode, events []lockEvent) ([]Finding, []orderEdge) {
+	pkg := n.Pkg
+	var findings []Finding
+	var edges []orderEdge
+	held := map[string]int{}
+	heldOrder := []string{} // acquisition order, for messages
+	heldList := func() string {
+		return strings.Join(heldOrder, ", ")
+	}
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			for _, h := range heldOrder {
+				if h != ev.class {
+					edges = append(edges, orderEdge{from: h, to: ev.class, pos: ev.pos, pkg: pkg})
+				}
+			}
+			if held[ev.class] == 0 {
+				heldOrder = append(heldOrder, ev.class)
+			}
+			held[ev.class]++
+		case evUnlock:
+			if held[ev.class] > 0 {
+				held[ev.class]--
+				if held[ev.class] == 0 {
+					for i, h := range heldOrder {
+						if h == ev.class {
+							heldOrder = append(heldOrder[:i], heldOrder[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+		case evBlock:
+			if len(heldOrder) > 0 {
+				findings = append(findings, Finding{
+					Rule: "lockdiscipline", Pos: pkg.Fset.Position(ev.pos),
+					Msg: fmt.Sprintf("%s held across blocking %s", heldList(), ev.why),
+				})
+			}
+		case evCall:
+			if len(heldOrder) == 0 {
+				continue
+			}
+			if ev.callee.sum.blocks {
+				findings = append(findings, Finding{
+					Rule: "lockdiscipline", Pos: pkg.Fset.Position(ev.pos),
+					Msg: fmt.Sprintf("%s held across call to %s, which may block (%s)",
+						heldList(), ev.callee.ID, ev.callee.sum.blockWhy),
+				})
+			}
+			acquired := make([]string, 0, len(ev.callee.sum.acquires))
+			for class := range ev.callee.sum.acquires {
+				acquired = append(acquired, class)
+			}
+			sort.Strings(acquired)
+			for _, class := range acquired {
+				for _, h := range heldOrder {
+					if h != class {
+						edges = append(edges, orderEdge{from: h, to: class, pos: ev.pos, pkg: pkg})
+					}
+				}
+			}
+		}
+	}
+	return findings, edges
+}
+
+// pkgFinding pairs a finding with the package it belongs to.
+type pkgFinding struct {
+	pkg *Package
+	f   Finding
+}
+
+// cycleFindings reports every order edge that lies on a cycle of the
+// lock-order graph: acquiring to while holding from is only a finding
+// if some other chain acquires from while holding to.
+func cycleFindings(edges []orderEdge) []pkgFinding {
+	adj := map[string]map[string]bool{}
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = map[string]bool{}
+		}
+		adj[e.from][e.to] = true
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{from: true}
+		stack := []string{from}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cur == to {
+				return true
+			}
+			next := make([]string, 0, len(adj[cur]))
+			for n := range adj[cur] {
+				next = append(next, n)
+			}
+			sort.Strings(next)
+			for _, n := range next {
+				if !seen[n] {
+					seen[n] = true
+					stack = append(stack, n)
+				}
+			}
+		}
+		return false
+	}
+	var out []pkgFinding
+	seenPos := map[token.Pos]bool{}
+	for _, e := range edges {
+		if seenPos[e.pos] {
+			continue
+		}
+		if reaches(e.to, e.from) {
+			seenPos[e.pos] = true
+			out = append(out, pkgFinding{pkg: e.pkg, f: Finding{
+				Rule: "lockdiscipline", Pos: e.pkg.Fset.Position(e.pos),
+				Msg: fmt.Sprintf("acquiring %s while holding %s creates a lock-order cycle (%s is also acquired while %s is held)",
+					e.to, e.from, e.from, e.to),
+			}})
+		}
+	}
+	return out
+}

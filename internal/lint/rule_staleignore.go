@@ -1,0 +1,26 @@
+package lint
+
+// ruleStaleIgnore makes dead suppressions visible: a //lint:ignore
+// directive that no longer suppresses any finding is itself a
+// finding. Suppressions are contracts ("this wall-clock read is the
+// injected-clock adapter"); when the code under one changes, the
+// directive either silently shadows future real findings on that
+// line or documents a contract that no longer exists. Either way it
+// must go.
+//
+// The check lives in LintProgram rather than here: every directive
+// is tracked while the full rule set runs, and the unused ones are
+// reported afterwards. This Rule value exists so the name appears in
+// -list output and validates in //lint:ignore directives — a dead
+// directive that is intentionally kept (e.g. a contract for a rule
+// that fires only on some build shapes) can be suppressed with
+// //lint:ignore staleignore <why>, which never covers itself.
+func ruleStaleIgnore() Rule {
+	return Rule{
+		Name: "staleignore",
+		Doc:  "a //lint:ignore directive that suppresses no finding is itself a finding",
+		Check: func(prog *Program, pkg *Package) []Finding {
+			return nil // evaluated in LintProgram after all rules run
+		},
+	}
+}

@@ -1,0 +1,3 @@
+module utlb
+
+go 1.22

@@ -1,0 +1,83 @@
+// Package tlbcache is the allocstatic fixture: static allocation
+// sites inside the budget-tested hot entry points, with the carved-
+// out cold paths (constructors, panic messages, error returns) shown
+// clean alongside.
+package tlbcache
+
+import "fmt"
+
+type Key struct {
+	PID uint64
+	VPN uint64
+}
+
+type Cache struct {
+	tags []uint64
+	vals []uint64
+}
+
+// reporter exists so Lookup can demonstrate interface boxing.
+type reporter interface{ report() uint64 }
+
+type plain uint64
+
+func (p plain) report() uint64 { return uint64(p) }
+
+// NewCache is a stop node: constructors may allocate freely.
+func NewCache(n int) *Cache {
+	index := make(map[uint64]int, n)
+	_ = index
+	return &Cache{tags: make([]uint64, n), vals: make([]uint64, n)}
+}
+
+// Lookup is a budget-tested hot entry point; every allocation below
+// is a positive except the panic message.
+func (c *Cache) Lookup(k Key) (uint64, bool) {
+	h := k.PID ^ k.VPN
+	name := fmt.Sprintf("probe-%d", h)
+	_ = name
+	seen := make(map[uint64]bool)
+	_ = seen
+	var hits []uint64
+	hits = append(hits, h)
+	_ = hits
+	probe := func() uint64 { return h }
+	_ = probe()
+	var r reporter = plain(h)
+	_ = reporter(plain(h))
+	_ = r
+	if len(c.tags) == 0 {
+		panic(fmt.Sprintf("tlbcache: empty cache probed with %d", h))
+	}
+	return c.vals[int(h)%len(c.vals)], true
+}
+
+// Insert is hot too: the error return is exempt, the concat carries a
+// documented contract.
+func (c *Cache) Insert(k Key, v uint64) error {
+	slot := int(k.VPN) % len(c.tags)
+	if slot < 0 {
+		return fmt.Errorf("tlbcache: negative slot for vpn %d", k.VPN)
+	}
+	//lint:ignore allocstatic debug label is built only when the disabled-by-default trace flag is set; never on the measured path
+	label := "slot:" + c.tagName(slot)
+	_ = label
+	c.tags[slot] = k.PID
+	c.vals[slot] = v
+	return nil
+}
+
+// tagName avoids fmt on purpose; the conversion itself is not a
+// flagged site.
+func (c *Cache) tagName(slot int) string {
+	var buf [20]byte
+	i := len(buf)
+	for v := uint(slot); ; {
+		i--
+		buf[i] = byte('0' + v%10)
+		if v /= 10; v == 0 {
+			break
+		}
+	}
+	return string(buf[i:])
+}

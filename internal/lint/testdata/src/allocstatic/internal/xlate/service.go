@@ -1,0 +1,31 @@
+// Package xlate shows the interprocedural half of allocstatic: the
+// allocation lives in a helper, reached through the hot entry point.
+package xlate
+
+type Service struct {
+	mask uint64
+}
+
+// LookupMany is a hot entry point that delegates to gather.
+func (s *Service) LookupMany(keys []uint64) []uint64 {
+	return s.gather(keys)
+}
+
+// gather appends to an unpreallocated slice — the transitive
+// positive, reported here but attributed to LookupMany's hot set.
+func (s *Service) gather(keys []uint64) []uint64 {
+	var out []uint64
+	for _, k := range keys {
+		out = append(out, k&s.mask)
+	}
+	return out
+}
+
+// GatherInto is the fixed variant: capacity decided by the caller.
+func (s *Service) GatherInto(dst []uint64, keys []uint64) []uint64 {
+	dst = dst[:0]
+	for _, k := range keys {
+		dst = append(dst, k&s.mask)
+	}
+	return dst
+}

@@ -1,0 +1,37 @@
+// Package telemetry is the atomichygiene fixture: mixed plain/atomic
+// access to old-style counters, and copies of structs holding typed
+// atomics.
+package telemetry
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+}
+
+// Hit makes hits an atomic field for the whole program.
+func (c *counters) Hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Load reads hits plainly — the mixed-access positive.
+func (c *counters) Load() int64 {
+	return c.hits
+}
+
+// Miss touches only misses, which is plain everywhere — clean.
+func (c *counters) Miss() {
+	c.misses++
+}
+
+// Snapshot reads hits through sync/atomic — clean.
+func (c *counters) Snapshot() (int64, int64) {
+	return atomic.LoadInt64(&c.hits), c.misses
+}
+
+// Reset writes hits plainly under a documented contract.
+func (c *counters) Reset() {
+	//lint:ignore atomichygiene Reset runs before any worker goroutine starts; the write is single-threaded by construction
+	c.hits = 0
+}

@@ -1,0 +1,39 @@
+package telemetry
+
+import "sync/atomic"
+
+// gauges carries a typed atomic: any copy forks the counter state.
+type gauges struct {
+	inflight atomic.Int64
+}
+
+// Read's value receiver copies the struct — positive.
+func (g gauges) Read() int64 {
+	return g.inflight.Load()
+}
+
+// Sum iterates by value — positive (range copy).
+func Sum(gs []gauges) int64 {
+	var total int64
+	for _, g := range gs {
+		total += g.inflight.Load()
+	}
+	return total
+}
+
+// Observe takes the struct by value — positive (parameter copy).
+func Observe(g gauges) int64 {
+	return g.inflight.Load()
+}
+
+// snapshot dereferences into a copy — positive (assignment copy).
+func snapshot(g *gauges) int64 {
+	c := *g
+	return c.inflight.Load()
+}
+
+// Add goes through a pointer everywhere — clean.
+func Add(g *gauges, n int64) {
+	g.inflight.Add(n)
+	_ = snapshot(g)
+}

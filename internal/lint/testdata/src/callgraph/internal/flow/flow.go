@@ -1,0 +1,57 @@
+// Package flow exercises the call-graph builder: direct calls,
+// mutual recursion, method values, interface dispatch, and blocking
+// propagation through each edge kind.
+package flow
+
+// Waiter is dispatched through below; one implementation blocks.
+type Waiter interface {
+	Await()
+}
+
+type ChanWaiter struct {
+	done chan struct{}
+}
+
+// Await blocks on the channel.
+func (w *ChanWaiter) Await() {
+	<-w.done
+}
+
+type NopWaiter struct{}
+
+// Await returns immediately.
+func (NopWaiter) Await() {}
+
+// Dispatch calls through the interface: edges to both
+// implementations, and ChanWaiter's blocking must propagate here.
+func Dispatch(w Waiter) {
+	w.Await()
+}
+
+// Even and Odd are mutually recursive; the summary fixpoint must
+// terminate and neither blocks.
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+// Handle takes a method value — a reference edge, which still
+// propagates ChanWaiter.Await's blocking conservatively.
+func Handle(w *ChanWaiter) func() {
+	return w.Await
+}
+
+// Spawned starts a goroutine whose body blocks; the spawner's own
+// summary must NOT block (the goroutine does, not the caller).
+func Spawned(w *ChanWaiter) {
+	go w.Await()
+}

@@ -1,0 +1,36 @@
+package xlate
+
+import "sync"
+
+// registry carries two lock classes acquired in opposite orders by
+// the two methods below — both acquisition sites are cycle findings.
+type registry struct {
+	amu sync.Mutex
+	bmu sync.Mutex
+}
+
+func (r *registry) lockAB() {
+	r.amu.Lock()
+	r.bmu.Lock()
+	r.bmu.Unlock()
+	r.amu.Unlock()
+}
+
+func (r *registry) lockBA() {
+	r.bmu.Lock()
+	r.amu.Lock()
+	r.amu.Unlock()
+	r.bmu.Unlock()
+}
+
+// nested takes the locks in the AB order only — consistent with
+// lockAB, so its sites are still part of the same cycle via lockBA.
+func (r *registry) nested() {
+	r.amu.Lock()
+	defer r.amu.Unlock()
+	r.bmu.Lock()
+	defer r.bmu.Unlock()
+	if r == nil {
+		panic("unreachable")
+	}
+}

@@ -1,0 +1,52 @@
+// Package xlate is the lockdiscipline fixture: blocking operations
+// under a classed mutex, directly and through a callee's summary.
+package xlate
+
+import "sync"
+
+type shard struct {
+	mu    sync.Mutex
+	table map[uint64]uint64
+	done  chan struct{}
+}
+
+// Lookup blocks on a channel while holding the shard lock — the
+// direct positive.
+func (s *shard) Lookup(k uint64) uint64 {
+	s.mu.Lock()
+	v := s.table[k]
+	<-s.done
+	s.mu.Unlock()
+	return v
+}
+
+// drain blocks; its summary must say so.
+func (s *shard) drain() {
+	<-s.done
+}
+
+// Flush holds the lock across a call whose summary blocks — the
+// transitive positive.
+func (s *shard) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drain()
+}
+
+// Snapshot releases before blocking — clean.
+func (s *shard) Snapshot() uint64 {
+	s.mu.Lock()
+	v := s.table[0]
+	s.mu.Unlock()
+	<-s.done
+	return v
+}
+
+// WaitIdle deliberately blocks under the lock; the contract is that
+// only the test harness closes done, with no other lock holders.
+func (s *shard) WaitIdle() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockdiscipline done is closed only by the single-owner test harness; no other goroutine contends on mu while draining
+	<-s.done
+}

@@ -1,0 +1,30 @@
+// Package sim is the staleignore fixture: one live suppression, one
+// dead directive (the positive), and one dead directive kept alive by
+// an explicit staleignore contract.
+package sim
+
+import "time"
+
+// now is the injected-clock escape hatch; the directive suppresses a
+// real nodeterm finding and is therefore live.
+func now() time.Time {
+	//lint:ignore nodeterm single wall-clock adapter behind the injected Clock interface
+	return time.Now()
+}
+
+// tick once read the wall clock; the code moved on and left the
+// directive behind — the staleignore positive.
+func tick() int {
+	//lint:ignore nodeterm formerly read time.Now here
+	return 42
+}
+
+// kept documents a contract for a build shape this module does not
+// compile today; the staleignore keeper above it holds it in place.
+func kept() int {
+	//lint:ignore staleignore directive below covers the wall-clock fallback that only the alternate build shape compiles; keep the contract
+	//lint:ignore nodeterm wall clock is allowed on the fallback path of the alternate build shape
+	return 7
+}
+
+var _ = []any{now, tick, kept}

@@ -280,6 +280,11 @@ func (s *Server) run(p params) (*result, error) {
 		Scale: p.scale, Seed: p.seed, Apps: p.apps, Nodes: p.nodes, Obs: col,
 	}
 	var sb strings.Builder
+	// runMu exists precisely to serialise whole experiment runs: it is
+	// the one-at-a-time admission lock, never taken on a request fast
+	// path (get() runs under mu/single-flight, not runMu), so holding
+	// it across the blocking worker-pool run is its entire contract.
+	//lint:ignore lockdiscipline runMu is the experiment admission lock; blocking under it is its purpose and no request path contends on it
 	if err := experiments.Run(p.exp, opts, &sb); err != nil {
 		return nil, err
 	}

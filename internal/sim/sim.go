@@ -349,6 +349,7 @@ func RunWith(tr trace.Trace, cfg Config, scr *RunScratch) (Result, error) {
 	// classifyObs attributes a reference in res and, when recording,
 	// emits an instant event for each classified miss on the sim track
 	// at the current NIC time.
+	//lint:ignore allocstatic built once per RunWith call, not per reference; inside the SimulateWith alloc budget
 	classifyObs := func(pid units.ProcID, vpn units.VPN, miss bool) {
 		class := cls.classify(&res, pid, vpn, miss)
 		if recorder == nil || class == classNone {
@@ -372,7 +373,9 @@ func RunWith(tr trace.Trace, cfg Config, scr *RunScratch) (Result, error) {
 		})
 	}
 
+	//lint:ignore allocstatic built once per RunWith call; spawning happens only at setup, inside the SimulateWith alloc budget
 	spawn := func(pid units.ProcID) (*hostos.Process, error) {
+		//lint:ignore allocstatic process names are built once per spawned process at setup, inside the SimulateWith alloc budget
 		return host.Spawn(pid, fmt.Sprintf("proc%d", pid),
 			vm.NewSpace(pid, host.Memory(), cfg.PinLimitPages))
 	}
@@ -388,6 +391,7 @@ func RunWith(tr trace.Trace, cfg Config, scr *RunScratch) (Result, error) {
 			drv.Cache().SetXferCursor(xc)
 		}
 		translator := core.NewTranslator(drv, cfg.Prefetch)
+		//lint:ignore allocstatic per-process lib index is built once at setup, inside the SimulateWith alloc budget
 		libs := make(map[units.ProcID]*core.Lib)
 		for i, pid := range sorted.PIDs() {
 			proc, err := spawn(pid)

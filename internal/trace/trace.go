@@ -110,6 +110,7 @@ func (t Trace) Footprint() int {
 		pid units.ProcID
 		vpn units.VPN
 	}
+	//lint:ignore allocstatic whole-trace summary runs once per trace at setup/report time, never per simulated reference
 	seen := make(map[pk]bool)
 	for _, r := range t {
 		pages := units.PagesSpanned(r.VA, int(r.Bytes))
@@ -134,6 +135,7 @@ func (t Trace) FilterNode(node units.NodeID) Trace {
 
 // PIDs reports the distinct process IDs in the trace, sorted.
 func (t Trace) PIDs() []units.ProcID {
+	//lint:ignore allocstatic whole-trace summary runs once per trace at setup/report time, never per simulated reference
 	set := map[units.ProcID]bool{}
 	for _, r := range t {
 		set[r.PID] = true
