@@ -4,12 +4,12 @@ GO ?= go
 # this directory as a build artifact.
 ARTIFACTS ?= artifacts
 
-.PHONY: all check vet lint lint-json build test race race-concurrency bench bench-json bench-compare obs-smoke chaos loadtest telemetry-smoke clean
+.PHONY: all check vet lint lint-json build test race race-concurrency bench bench-json bench-compare obs-smoke chaos overlap-soak loadtest telemetry-smoke clean
 
 all: check
 
 # The full local gate: what CI runs, in order.
-check: vet lint build race bench obs-smoke chaos loadtest telemetry-smoke bench-compare
+check: vet lint build race bench obs-smoke chaos overlap-soak loadtest telemetry-smoke bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -102,6 +102,20 @@ chaos:
 		diff $(ARTIFACTS)/chaos/s$$seed-p1.txt $(ARTIFACTS)/chaos/s$$seed-p8.txt || exit 1; \
 	done
 	@echo "chaos: byte-identical at widths 1 and 8 for both fault seeds"
+
+# Overlap soak: the discrete-event engine's determinism gate, shaped
+# like the chaos soak — the overlap experiment (sequential baseline +
+# engine at three DMA pool widths) at two seeds, each run sequentially
+# and at width 8, diffed byte-identical. The event kernel's (time, seq)
+# dispatch order is what makes this hold (DESIGN.md §15).
+overlap-soak:
+	rm -rf $(ARTIFACTS)/overlap && mkdir -p $(ARTIFACTS)/overlap
+	for seed in 7 1998; do \
+		$(GO) run ./cmd/utlbsim -exp overlap -scale 0.3 -seed $$seed -parallel 1 > $(ARTIFACTS)/overlap/s$$seed-p1.txt && \
+		$(GO) run ./cmd/utlbsim -exp overlap -scale 0.3 -seed $$seed -parallel 8 > $(ARTIFACTS)/overlap/s$$seed-p8.txt && \
+		diff $(ARTIFACTS)/overlap/s$$seed-p1.txt $(ARTIFACTS)/overlap/s$$seed-p8.txt || exit 1; \
+	done
+	@echo "overlap: byte-identical at widths 1 and 8 for both seeds"
 
 # Load-test smoke: a short utlbload run against an in-process serve
 # instance (cmd/utlbload's TestLoad* drive the real client path end to

@@ -11,6 +11,7 @@ package bus
 import (
 	"fmt"
 
+	"utlb/internal/event"
 	"utlb/internal/obs"
 	"utlb/internal/phys"
 	"utlb/internal/units"
@@ -80,6 +81,20 @@ type Bus struct {
 	// words is ReadWords' reused result buffer (the returned slice is
 	// only valid until the next ReadWords call; see that method).
 	words []uint64
+
+	// Overlap engine (nil = the strictly sequential charging model).
+	// With a channel pool attached, transfers reserve a DMA channel
+	// instead of serialising on the NIC clock: the NIC blocks only on
+	// the portion it genuinely depends on (the demand entry of a
+	// prefetch, channel availability for a posted write) and the rest
+	// of the transfer streams on the channel. Each transfer's
+	// completion is a scheduled kernel event, so the run's drain
+	// observes every in-flight DMA landing before the makespan is read.
+	kernel     *event.Kernel
+	dma        *event.Pool
+	inflight   int64
+	completed  int64
+	completeFn event.Handler
 }
 
 // New returns a bus over mem charging time to clock.
@@ -101,6 +116,49 @@ func (b *Bus) SetRecorder(r obs.Recorder, node units.NodeID) {
 // SetXferCursor attaches the transfer cursor whose current id stamps
 // every recorded DMA span (nil — the default — stamps 0).
 func (b *Bus) SetXferCursor(x *obs.XferCursor) { b.xfer = x }
+
+// SetOverlap attaches the discrete-event overlap engine: transfers
+// reserve channels on pool and schedule their completions on k. Both
+// nil (the default) keeps the sequential charging model, where every
+// transfer blocks the NIC clock for its full cost.
+func (b *Bus) SetOverlap(k *event.Kernel, pool *event.Pool) {
+	if (k == nil) != (pool == nil) {
+		panic("bus: overlap engine needs both kernel and pool")
+	}
+	b.kernel = k
+	b.dma = pool
+	if k != nil && b.completeFn == nil {
+		// One handler retires every transfer: built once per engine
+		// attach (never on the sequential path SimulateWith measures),
+		// so issuing a DMA allocates nothing beyond the kernel's heap
+		// slot.
+		//lint:ignore allocstatic built once per SetOverlap call at run setup, only when cfg.Overlap.Enabled; the pinned alloc budget measures the sequential path, which never attaches an engine
+		b.completeFn = func(units.Time) { b.inflight--; b.completed++ }
+	}
+}
+
+// InFlight reports transfers issued on the overlap engine whose
+// completion events have not yet dispatched. It must be zero after the
+// kernel drains — the invariant the simulator checks before reading
+// the makespan.
+func (b *Bus) InFlight() int64 { return b.inflight }
+
+// Completed reports how many overlap-engine transfers have retired.
+func (b *Bus) Completed() int64 { return b.completed }
+
+// issueOverlap books one transfer on the DMA channel pool: the
+// recorded span covers the full channel occupancy [start, end), the
+// NIC clock advances only to blockUntil (waiting, not work — the DMA
+// engine moves the bytes), and the completion event lands at end.
+func (b *Bus) issueOverlap(kind obs.Kind, cost, block units.Time, bytes int64) {
+	start, end, _ := b.dma.Reserve(b.clock.Now(), cost)
+	if b.rec != nil {
+		b.recordDMA(kind, start, cost, bytes)
+	}
+	b.clock.AdvanceTo(start + block)
+	b.inflight++
+	b.kernel.At(end, b.completeFn)
+}
 
 // recordDMA emits one transfer span; callers nil-check b.rec first.
 func (b *Bus) recordDMA(kind obs.Kind, start, cost units.Time, bytes int64) {
@@ -126,10 +184,21 @@ func (b *Bus) ReadWords(pa units.PAddr, n int) []uint64 {
 		panic(fmt.Sprintf("bus: negative word count %d", n))
 	}
 	cost := b.costs.EntryFetchCost(n)
-	if b.rec != nil {
-		b.recordDMA(obs.KindDMARead, b.clock.Now(), cost, int64(n)*8)
+	if b.dma != nil {
+		// Prefetch-under-miss: the firmware depends only on the demand
+		// entry (the first word); the prefetched tail streams on the
+		// channel while the NIC resumes translation.
+		block := cost
+		if n > 1 {
+			block = b.costs.EntryFetchCost(1)
+		}
+		b.issueOverlap(obs.KindDMARead, cost, block, int64(n)*8)
+	} else {
+		if b.rec != nil {
+			b.recordDMA(obs.KindDMARead, b.clock.Now(), cost, int64(n)*8)
+		}
+		b.clock.Advance(cost)
 	}
-	b.clock.Advance(cost)
 	b.reads++
 	b.bytesRead += int64(n) * 8
 	if cap(b.words) < n {
@@ -145,10 +214,16 @@ func (b *Bus) ReadWords(pa units.PAddr, n int) []uint64 {
 // WriteWords DMAs words into host memory starting at pa.
 func (b *Bus) WriteWords(pa units.PAddr, words []uint64) {
 	cost := b.costs.EntryFetchCost(len(words))
-	if b.rec != nil {
-		b.recordDMA(obs.KindDMAWrite, b.clock.Now(), cost, int64(len(words))*8)
+	if b.dma != nil {
+		// Posted write: the NIC waits only for a free channel (block 0
+		// past the booked start), not for the bytes to land.
+		b.issueOverlap(obs.KindDMAWrite, cost, 0, int64(len(words))*8)
+	} else {
+		if b.rec != nil {
+			b.recordDMA(obs.KindDMAWrite, b.clock.Now(), cost, int64(len(words))*8)
+		}
+		b.clock.Advance(cost)
 	}
-	b.clock.Advance(cost)
 	b.writes++
 	b.bytesWrite += int64(len(words)) * 8
 	for i, w := range words {
@@ -160,10 +235,17 @@ func (b *Bus) WriteWords(pa units.PAddr, words []uint64) {
 // the bandwidth-dominated data cost. Used for outgoing message payloads.
 func (b *Bus) ReadData(pa units.PAddr, n int) []byte {
 	cost := b.costs.DataCost(n)
-	if b.rec != nil {
-		b.recordDMA(obs.KindDMARead, b.clock.Now(), cost, int64(n))
+	if b.dma != nil {
+		// The firmware consumes the payload it fetches, so it blocks
+		// for the whole transfer — but on a channel, so other channels
+		// (and the host) keep working underneath it.
+		b.issueOverlap(obs.KindDMARead, cost, cost, int64(n))
+	} else {
+		if b.rec != nil {
+			b.recordDMA(obs.KindDMARead, b.clock.Now(), cost, int64(n))
+		}
+		b.clock.Advance(cost)
 	}
-	b.clock.Advance(cost)
 	b.reads++
 	b.bytesRead += int64(n)
 	return b.mem.Read(pa, n)
@@ -173,10 +255,15 @@ func (b *Bus) ReadData(pa units.PAddr, n int) []byte {
 // message payloads landing in a receive buffer.
 func (b *Bus) WriteData(pa units.PAddr, data []byte) {
 	cost := b.costs.DataCost(len(data))
-	if b.rec != nil {
-		b.recordDMA(obs.KindDMAWrite, b.clock.Now(), cost, int64(len(data)))
+	if b.dma != nil {
+		// Posted, like WriteWords: deposit DMAs drain on the channel.
+		b.issueOverlap(obs.KindDMAWrite, cost, 0, int64(len(data)))
+	} else {
+		if b.rec != nil {
+			b.recordDMA(obs.KindDMAWrite, b.clock.Now(), cost, int64(len(data)))
+		}
+		b.clock.Advance(cost)
 	}
-	b.clock.Advance(cost)
 	b.writes++
 	b.bytesWrite += int64(len(data))
 	b.mem.Write(pa, data)

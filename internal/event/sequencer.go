@@ -1,0 +1,46 @@
+package event
+
+import (
+	"utlb/internal/obs"
+	"utlb/internal/units"
+)
+
+// Sequencer is an obs.Recorder that routes events through the kernel:
+// each Record is scheduled at the event's own timestamp, and draining
+// the kernel delivers the events to the wrapped recorder in global
+// (time, seq) order. Under overlapping execution the layers no longer
+// record in timestamp order — a DMA tail completes after the host has
+// moved on — so the kernel, not the call order, defines the emission
+// order the analyzers see.
+//
+// The Sequencer is single-goroutine, like the Buffer it usually
+// wraps, and nil-transparent: a Sequencer over a nil recorder drops
+// everything without touching the kernel.
+type Sequencer struct {
+	k    *Kernel
+	sink obs.Recorder
+}
+
+// NewSequencer returns a Sequencer scheduling on k and delivering to
+// sink. A nil kernel panics — the Sequencer exists to use one.
+func NewSequencer(k *Kernel, sink obs.Recorder) *Sequencer {
+	if k == nil {
+		panic("event: NewSequencer with nil kernel")
+	}
+	return &Sequencer{k: k, sink: sink}
+}
+
+// Record schedules e for delivery at e.Time. Events timestamped
+// before the kernel's current time (possible only if Record is called
+// mid-drain) are delivered at the current time, preserving FIFO order
+// among themselves.
+func (s *Sequencer) Record(e obs.Event) {
+	if s.sink == nil {
+		return
+	}
+	s.k.At(e.Time, func(units.Time) { s.sink.Record(e) })
+}
+
+// Drain runs the kernel until empty, delivering every scheduled event
+// in (time, seq) order, and reports how many were dispatched.
+func (s *Sequencer) Drain() int64 { return s.k.Run() }

@@ -143,7 +143,7 @@ var Names = []string{
 	"table1", "table2", "table3", "table4", "table5",
 	"table6", "table7", "table8", "fig7", "fig8",
 	"ablation-policies", "ablation-perprocess", "ablation-multiprog",
-	"batchsweep", "svm-pipeline", "chaos",
+	"batchsweep", "svm-pipeline", "chaos", "overlap",
 }
 
 // aliases maps shorthand experiment names (t6, f7) to canonical ones.
@@ -209,6 +209,8 @@ func Run(name string, opts Options, w io.Writer) error {
 		out, err = SVMPipeline(opts)
 	case "chaos":
 		out, err = Chaos(opts)
+	case "overlap":
+		out, err = Overlap(opts)
 	default:
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names)
 	}

@@ -51,6 +51,15 @@ type Costs struct {
 	// ContextSwitch approximates the scheduler cost around an
 	// interrupt-time pin when a process must be switched in.
 	ContextSwitch units.Time
+	// ReclaimBase is the fixed cost of one reclaimer pass (entering
+	// the reclaimer, snapshotting the process list, lock traffic) —
+	// paid even when the scan evicts nothing.
+	ReclaimBase units.Time
+	// ReclaimPerScanned is the cost of examining one mapped page
+	// during a reclaim scan (metadata probe + pin check), charged for
+	// every page visited whether or not it is evicted. Evicted frames
+	// additionally pay PinPerPage of unmapping work.
+	ReclaimPerScanned units.Time
 }
 
 // DefaultCosts returns the cost model calibrated against the paper's
@@ -74,6 +83,8 @@ func DefaultCosts() Costs {
 		BitMisalign:       units.FromMicros(0.18),
 		InterruptDispatch: units.FromMicros(10.0),
 		ContextSwitch:     units.FromMicros(5.0),
+		ReclaimBase:       units.FromMicros(4.0),
+		ReclaimPerScanned: units.FromMicros(0.12),
 	}
 }
 

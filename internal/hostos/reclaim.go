@@ -44,7 +44,7 @@ func (h *Host) Reclaim(want int) int {
 	}
 	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
 
-	reclaimed := 0
+	reclaimed, scanned := 0, 0
 	for _, pid := range pids {
 		if reclaimed >= want {
 			break
@@ -59,6 +59,7 @@ func (h *Host) Reclaim(want int) int {
 			if reclaimed >= want {
 				break
 			}
+			scanned++
 			if rs.Pinned(vpn) {
 				continue
 			}
@@ -67,7 +68,13 @@ func (h *Host) Reclaim(want int) int {
 			}
 		}
 	}
-	h.clock.Advance(units.Time(reclaimed) * h.costs.PinPerPage) // per-frame reclaim work
+	// The scan itself is work: a pass over pinned-solid memory walks
+	// every mapped page and frees nothing, but still burns a base cost
+	// plus a per-page metadata probe. Only evicted frames pay the
+	// additional per-frame unmapping work.
+	h.clock.Advance(h.costs.ReclaimBase +
+		units.Time(scanned)*h.costs.ReclaimPerScanned +
+		units.Time(reclaimed)*h.costs.PinPerPage)
 	h.reclaims++
 	h.framesReclaimed += int64(reclaimed)
 	if h.rec != nil {

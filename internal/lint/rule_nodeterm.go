@@ -16,10 +16,14 @@ import (
 // read is the explicitly suppressed WallClock adapter. (cmd/ and the
 // fabric plan-RNG are deliberately outside: they either don't feed
 // experiment output or own their seeds explicitly.)
+// The event kernel is audited for the same reason the simulation core
+// is: its (time, seq) dispatch order IS the overlap engine's
+// determinism guarantee, so a wall clock, unseeded PRNG or unsorted
+// map range there breaks byte-identity at the root.
 var nodetermPkgs = []string{
 	"internal/sim", "internal/core", "internal/vmmc",
 	"internal/experiments", "internal/obs", "internal/workload",
-	"internal/fault", "internal/telemetry",
+	"internal/fault", "internal/telemetry", "internal/event",
 }
 
 // wallClockFuncs are the time-package functions that read or depend on

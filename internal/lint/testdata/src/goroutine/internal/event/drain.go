@@ -1,0 +1,20 @@
+// Package event is a lint fixture: the discrete-event kernel is
+// goroutine-confined by contract — one kernel per simulation run,
+// drained on the run's own goroutine. A go statement here would let
+// the scheduler, not the (time, seq) heap, order dispatch.
+package event
+
+// DrainConcurrently hands handlers to the runtime scheduler — the
+// determinism bug the confinement contract forbids.
+func DrainConcurrently(handlers []func()) {
+	done := make(chan struct{})
+	for _, h := range handlers {
+		go func() { // bad: kernel dispatch must stay on one goroutine
+			h()
+			done <- struct{}{}
+		}()
+	}
+	for range handlers {
+		<-done
+	}
+}

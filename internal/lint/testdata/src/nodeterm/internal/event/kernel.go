@@ -1,0 +1,50 @@
+// Package event is a lint fixture: the discrete-event kernel is part
+// of the audited determinism surface — its dispatch order must be a
+// pure function of the schedule, so map-ordered dispatch and
+// wall-clock timestamps are exactly the leaks the audit exists to
+// catch.
+package event
+
+import (
+	"sort"
+	"time"
+)
+
+// kernel mirrors the real event.Kernel shape enough for the rule: a
+// pending-event table keyed by sequence number.
+type kernel struct {
+	pending map[uint64]func()
+	now     int64
+}
+
+// DrainUnordered collects the runnable queue in map-range order —
+// nondeterministic dispatch of same-timestamp events, the exact bug
+// the (time, seq) heap exists to prevent.
+func (k *kernel) DrainUnordered() {
+	var queue []func()
+	for _, fn := range k.pending { // bad: dispatch order depends on map iteration
+		queue = append(queue, fn)
+	}
+	for _, fn := range queue {
+		fn()
+	}
+}
+
+// DrainOrdered collects, sorts by seq, then dispatches — the
+// deterministic shape.
+func (k *kernel) DrainOrdered() {
+	seqs := make([]uint64, 0, len(k.pending))
+	for seq := range k.pending { // good: sorted below
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		k.pending[seq]()
+	}
+}
+
+// StampWall timestamps an event off the wall clock instead of the
+// kernel's virtual time.
+func (k *kernel) StampWall() int64 {
+	return time.Now().UnixNano() // bad: event time must be virtual, not wall
+}

@@ -91,6 +91,13 @@ type NIC struct {
 
 	intr InterruptHandler
 
+	// hostClock, when non-nil, enables cross-processor interrupt
+	// synchronisation (the overlap engine): the host cannot service an
+	// interrupt before the NIC asserts it, and the firmware blocks
+	// until the handler returns on the host's own timeline. nil — the
+	// sequential charging model — leaves the two clocks independent.
+	hostClock *units.Clock
+
 	// Counters for experiments.
 	interruptsRaised int64
 	dmaFetches       int64
@@ -171,6 +178,11 @@ func (n *NIC) ReleaseSRAM(nbytes int) {
 // SetInterruptHandler wires the NIC's interrupt line to a host handler.
 func (n *NIC) SetInterruptHandler(h InterruptHandler) { n.intr = h }
 
+// SetHostSync attaches the host clock for overlap-mode interrupt
+// synchronisation (see RaiseInterrupt). nil — the default — keeps the
+// sequential charging model, where NIC and host times simply add.
+func (n *NIC) SetHostSync(c *units.Clock) { n.hostClock = c }
+
 // SetSRAMFault arms the injected SRAM-exhaustion fault on ReserveSRAM
 // (fault.SiteNICSRAM). nil — the default — disables injection.
 func (n *NIC) SetSRAMFault(p *fault.Point) { n.sramFault = p }
@@ -213,6 +225,17 @@ func (n *NIC) RaiseInterrupt() error {
 		}()
 	}
 	n.clock.Advance(n.costs.RaiseInterrupt)
+	if n.hostClock != nil {
+		// Overlap mode: the interrupt reaches the host no earlier than
+		// the NIC asserts it, and the firmware blocks (waiting, not
+		// working — AdvanceTo) until the handler completes on the host
+		// timeline. The handler's own dispatch + service costs charge
+		// the host clock as always.
+		n.hostClock.AdvanceTo(n.clock.Now())
+		err := n.intr()
+		n.clock.AdvanceTo(n.hostClock.Now())
+		return err
+	}
 	return n.intr()
 }
 

@@ -267,8 +267,16 @@ func (t *Sink) RecordInvalidations(si int, n, now int64) {
 // boundary-crossing operation is attributed to the window it happened
 // in, not the one that just closed. The common case — still inside
 // the current window — is one atomic load and a compare.
+//
+// The comparison is >, not !=: a wall clock stepping BACKWARDS past a
+// boundary (NTP correction, VM migration) must be treated as
+// still-in-the-current-window. With != every record during the
+// stepped-back interval would take the fold lock only for foldLocked
+// to clamp and return — a mutex storm on the hot path until the clock
+// catches back up. Backwards records are attributed to the open
+// window; the ring never moves backwards.
 func (t *Sink) maybeFold(now int64) {
-	if now/t.cfg.WindowNs != t.curWin.Load() {
+	if now/t.cfg.WindowNs > t.curWin.Load() {
 		t.mu.Lock()
 		t.foldLocked(now)
 		t.mu.Unlock()
@@ -302,7 +310,11 @@ func (t *Sink) cumTotals() totals {
 func (t *Sink) foldLocked(now int64) {
 	wNow := now / t.cfg.WindowNs
 	if wNow <= t.lastWin {
-		return // same window, or a wall clock stepping backwards
+		// Same window, or a wall clock stepping backwards: clamp. A
+		// negative window delta must never reach the ring arithmetic
+		// below — it would attribute deltas to a window slot that is
+		// still live and re-zero slots the series already served.
+		return
 	}
 	cur := t.cumTotals()
 	slot := &t.ring[int(t.lastWin%int64(len(t.ring)))]

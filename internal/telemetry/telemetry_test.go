@@ -164,6 +164,58 @@ func TestRingWrap(t *testing.T) {
 	}
 }
 
+// TestBackwardsClockClamped is the regression test for the monotonic
+// -clock assumption: a wall clock stepping backwards past a window
+// boundary (NTP correction, VM migration) must be treated as
+// same-window. The ring must never move backwards, records during the
+// stepped-back interval are attributed to the open window, and the
+// series stays coherent once the clock recovers.
+func TestBackwardsClockClamped(t *testing.T) {
+	s, clk := newTestSink(t, 0)
+
+	// Window 0: 3 lookups. Then jump to window 2 and record 5 more,
+	// folding window 0 closed and zeroing idle window 1.
+	s.RecordLookups(0, 3, 3, 10, clk.Now())
+	clk.Set(2500)
+	s.RecordLookups(0, 5, 5, 10, clk.Now())
+
+	// The clock steps backwards into window 1 territory. These records
+	// must clamp into the open window (2), not rewind the ring.
+	clk.Set(1100)
+	s.RecordLookups(0, 7, 7, 10, clk.Now())
+	s.RecordInserts(1, 2, 0, 10, clk.Now())
+
+	// A read with the backwards now must not corrupt the ring either
+	// (report paths call foldLocked directly).
+	sr := s.SeriesReport(clk.Now())
+	for _, p := range sr.Points[:len(sr.Points)-1] {
+		if p.Window >= 2 {
+			t.Fatalf("window %d closed by a backwards clock: %+v", p.Window, p)
+		}
+	}
+
+	// Clock recovers past window 2: the fold must attribute BOTH the
+	// pre-step and stepped-back records to window 2.
+	clk.Set(3200)
+	sr = s.SeriesReport(clk.Now())
+	if len(sr.Points) != 4 {
+		t.Fatalf("got %d points, want w0..w2 closed + open w3: %+v", len(sr.Points), sr.Points)
+	}
+	w0, w1, w2, open := sr.Points[0], sr.Points[1], sr.Points[2], sr.Points[3]
+	if w0.Window != 0 || w0.Lookups != 3 {
+		t.Errorf("window 0 = %+v, want 3 lookups", w0)
+	}
+	if w1.Window != 1 || w1.Lookups != 0 || w1.Inserts != 0 {
+		t.Errorf("idle window 1 not zeroed: %+v", w1)
+	}
+	if w2.Window != 2 || w2.Lookups != 12 || w2.Inserts != 2 {
+		t.Errorf("window 2 = %+v, want 12 lookups + 2 inserts (5 pre-step + 7 clamped)", w2)
+	}
+	if open.Window != 3 || !open.Open || open.Lookups != 0 {
+		t.Errorf("open point = %+v, want empty open window 3", open)
+	}
+}
+
 func TestQuantilesMatchDigest(t *testing.T) {
 	s, clk := newTestSink(t, 0)
 	var want analyze.Digest

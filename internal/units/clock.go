@@ -5,8 +5,16 @@ package units
 // read elapsed time by differencing Now around an operation, the same
 // way the paper times operations with the Pentium cycle counter and the
 // LANai real-time clock register.
+//
+// The clock distinguishes position from occupancy: Advance models the
+// component doing work (both position and busy time move), AdvanceTo
+// models the component waiting for another component or an in-flight
+// DMA (position moves, busy time does not). Under the strictly
+// sequential charging model nothing ever waits, so Busy() == Now()
+// there — the overlap engine is where the two diverge.
 type Clock struct {
-	now Time
+	now  Time
+	busy Time
 }
 
 // NewClock returns a clock starting at time zero.
@@ -15,17 +23,23 @@ func NewClock() *Clock { return &Clock{} }
 // Now reports the current virtual time.
 func (c *Clock) Now() Time { return c.now }
 
-// Advance moves the clock forward by d. Negative advances panic: time in
-// the simulation never runs backwards.
+// Busy reports the accumulated working time: every Advance, none of
+// the AdvanceTo waits. Utilisation is Busy()/Now().
+func (c *Clock) Busy() Time { return c.busy }
+
+// Advance moves the clock forward by d, accruing busy time. Negative
+// advances panic: time in the simulation never runs backwards.
 func (c *Clock) Advance(d Time) {
 	if d < 0 {
 		panic("units: clock advanced by negative duration")
 	}
 	c.now += d
+	c.busy += d
 }
 
 // AdvanceTo moves the clock to t if t is in the future; otherwise it is
-// a no-op. Used when synchronising a component with an event timestamp.
+// a no-op. Used when synchronising a component with an event timestamp:
+// the elapsed interval is waiting, not work, so busy time is untouched.
 func (c *Clock) AdvanceTo(t Time) {
 	if t > c.now {
 		c.now = t

@@ -35,3 +35,33 @@ func TestClockAdvanceTo(t *testing.T) {
 		t.Errorf("Now after past AdvanceTo = %d, want 10", c.Now())
 	}
 }
+
+// TestClockBusyVsPosition pins the work/wait split: Advance accrues
+// busy time, AdvanceTo (waiting on another component) does not, and a
+// clock that never waits has Busy() == Now() — the invariant the
+// sequential-compatibility mode relies on.
+func TestClockBusyVsPosition(t *testing.T) {
+	c := NewClock()
+	c.Advance(4)
+	if c.Busy() != 4 || c.Now() != 4 {
+		t.Fatalf("after work: Busy %d Now %d, want 4/4", c.Busy(), c.Now())
+	}
+	c.AdvanceTo(10) // 6 units of waiting
+	if c.Busy() != 4 {
+		t.Errorf("waiting accrued busy time: Busy = %d, want 4", c.Busy())
+	}
+	if c.Now() != 10 {
+		t.Errorf("Now = %d, want 10", c.Now())
+	}
+	c.Advance(3)
+	if c.Busy() != 7 || c.Now() != 13 {
+		t.Errorf("after more work: Busy %d Now %d, want 7/13", c.Busy(), c.Now())
+	}
+
+	seq := NewClock()
+	seq.Advance(2)
+	seq.Advance(9)
+	if seq.Busy() != seq.Now() {
+		t.Errorf("never-waiting clock: Busy %d != Now %d", seq.Busy(), seq.Now())
+	}
+}
